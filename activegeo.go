@@ -1,0 +1,240 @@
+// Package activegeo is a library for active geolocation — estimating
+// where an Internet host physically is from packet round-trip times to
+// landmarks in known locations — and for auditing the advertised
+// locations of commercial network proxies, reproducing "How to Catch
+// when Proxies Lie: Verifying the Physical Locations of Network Proxies
+// with Active Geolocation" (Weinberg, Cho, Christin, Sekar, Gill;
+// IMC 2018).
+//
+// The package is a facade over the implementation packages. It exposes,
+// through type aliases, everything a user needs:
+//
+//   - geodesy primitives (Point, Cap, Ring) and an equal-area Region
+//     discretization of the Earth;
+//   - five geolocation algorithms — CBG, Quasi-Octant, Spotter, a
+//     Quasi-Octant/Spotter Hybrid, and the paper's CBG++ — behind one
+//     Algorithm interface;
+//   - the measurement toolkit: simulated CLI and web tools, the
+//     two-phase procedure, proxy indirection with η correction, and real
+//     TCP-connect round-trip measurement over package net;
+//   - the claim-assessment pipeline (credible / uncertain / false, with
+//     data-center and AS//24 disambiguation);
+//   - a deterministic world-scale network simulator, landmark
+//     constellation, VPN provider fleet, and crowdsourced-host cohort —
+//     the substrate on which every experiment of the paper's evaluation
+//     can be regenerated (see the Lab type and the cmd/experiments
+//     binary).
+//
+// # Quick start
+//
+//	lab, err := activegeo.NewLab(activegeo.QuickConfig())
+//	if err != nil { ... }
+//	run, err := lab.Audit()           // the paper's §6 pipeline
+//	fig17, err := lab.Fig17Assessment()
+//	fmt.Println(fig17.Render())
+//
+// See examples/ for runnable programs.
+package activegeo
+
+import (
+	"activegeo/internal/assess"
+	"activegeo/internal/atlas"
+	"activegeo/internal/cbg"
+	"activegeo/internal/cbgpp"
+	"activegeo/internal/crowd"
+	"activegeo/internal/experiments"
+	"activegeo/internal/geo"
+	"activegeo/internal/geoloc"
+	"activegeo/internal/grid"
+	"activegeo/internal/hybrid"
+	"activegeo/internal/iclab"
+	"activegeo/internal/ipdb"
+	"activegeo/internal/measure"
+	"activegeo/internal/netsim"
+	"activegeo/internal/octant"
+	"activegeo/internal/proxy"
+	"activegeo/internal/spotter"
+	"activegeo/internal/worldmap"
+)
+
+// Geodesy.
+type (
+	// Point is a latitude/longitude position on the Earth's surface.
+	Point = geo.Point
+	// Cap is a spherical disk: the multilateration primitive.
+	Cap = geo.Cap
+	// Ring is a spherical annulus, used by Octant-style algorithms.
+	Ring = geo.Ring
+)
+
+// Physical constants from the paper.
+const (
+	// BaselineSpeedKmPerMs is the 200 km/ms fiber propagation bound.
+	BaselineSpeedKmPerMs = geo.BaselineSpeedKmPerMs
+	// SlowlineSpeedKmPerMs is CBG++'s 84.5 km/ms lower speed bound.
+	SlowlineSpeedKmPerMs = geo.SlowlineSpeedKmPerMs
+)
+
+// DistanceKm returns the great-circle distance between two points.
+func DistanceKm(a, b Point) float64 { return geo.DistanceKm(a, b) }
+
+// Discretization.
+type (
+	// Grid is an equal-area discretization of the Earth's surface.
+	Grid = grid.Grid
+	// Region is a set of grid cells: every algorithm's prediction type.
+	Region = grid.Region
+)
+
+// NewGrid builds a grid with the given latitude-band height in degrees.
+func NewGrid(resDeg float64) *Grid { return grid.New(resDeg) }
+
+// Algorithms and measurements.
+type (
+	// Measurement is one RTT observation from a known landmark.
+	Measurement = geoloc.Measurement
+	// Algorithm locates a target from measurements.
+	Algorithm = geoloc.Algorithm
+	// Env is the shared grid + world-map environment algorithms run in.
+	Env = geoloc.Env
+	// CBG is Constraint-Based Geolocation (§3.1).
+	CBG = cbg.CBG
+	// QuasiOctant is the traceroute-free Octant (§3.2).
+	QuasiOctant = octant.Octant
+	// Spotter is the probabilistic algorithm (§3.3).
+	Spotter = spotter.Spotter
+	// Hybrid combines Spotter's delay model with ring multilateration (§3.4).
+	Hybrid = hybrid.Hybrid
+	// CBGPP is the paper's CBG++ (§5.1).
+	CBGPP = cbgpp.CBGPP
+	// ICLabChecker is the speed-limit country checker compared in §6.2.
+	ICLabChecker = iclab.Checker
+)
+
+// NewEnv builds an algorithm environment at the given grid resolution.
+func NewEnv(resDeg float64) *Env { return geoloc.NewEnv(resDeg) }
+
+// World model.
+type (
+	// Country is a country or territory of the world atlas.
+	Country = worldmap.Country
+	// Continent is the paper's eight-way continent scheme.
+	Continent = worldmap.Continent
+)
+
+// CountryByCode returns a country by ISO code, or nil.
+func CountryByCode(code string) *Country { return worldmap.ByCode(code) }
+
+// LocateCountry returns the country containing a point, or nil at sea.
+func LocateCountry(p Point) *Country { return worldmap.Locate(p) }
+
+// Simulation substrate.
+type (
+	// Network is the deterministic world-scale delay simulator.
+	Network = netsim.Network
+	// Host is a simulated Internet host.
+	Host = netsim.Host
+	// HostID identifies a host within a Network.
+	HostID = netsim.HostID
+	// Constellation is the landmark set (the RIPE Atlas substitute).
+	Constellation = atlas.Constellation
+	// Landmark is one anchor or stable probe.
+	Landmark = atlas.Landmark
+	// Fleet is the simulated seven-provider VPN ecosystem.
+	Fleet = proxy.Fleet
+	// ProxyServer is one VPN server with its claimed and true countries.
+	ProxyServer = proxy.Server
+	// CrowdHost is one crowdsourced validation host.
+	CrowdHost = crowd.Host
+)
+
+// Measurement tooling.
+type (
+	// CLITool is the simulated command-line measurement tool (§4.2).
+	CLITool = measure.CLITool
+	// WebTool is the simulated browser measurement tool (§4.2–4.3).
+	WebTool = measure.WebTool
+	// TwoPhase is the §4.1 two-phase measurement procedure.
+	TwoPhase = measure.TwoPhase
+	// ProxiedTool measures landmarks through a proxy (§5.3).
+	ProxiedTool = measure.ProxiedTool
+	// Sample is one raw tool observation.
+	Sample = measure.Sample
+	// Forwarder is a real TCP forwarding proxy for live demonstrations.
+	Forwarder = proxy.Forwarder
+)
+
+// Measurements converts raw samples to algorithm inputs.
+func Measurements(samples []Sample) []Measurement { return measure.Measurements(samples) }
+
+// CorrectForProxy removes the client↔proxy leg: A = B − ηC (§5.3).
+func CorrectForProxy(samples []Sample, selfPingMs, eta float64) []Sample {
+	return measure.CorrectForProxy(samples, selfPingMs, eta)
+}
+
+// EstimateEta fits the robust direct-vs-indirect regression of Figure 13.
+func EstimateEta(directMs, indirectMs []float64) (eta, r2 float64, err error) {
+	return measure.EstimateEta(directMs, indirectMs)
+}
+
+// DefaultEta is the paper's measured η of 0.49.
+const DefaultEta = measure.DefaultEta
+
+// Real-network measurement (package net based).
+//
+// ConnectRTT times one real TCP handshake round trip the way the
+// paper's CLI tool does; DialThrough and ConnectRTTThrough use the
+// Forwarder's protocol to measure through a live proxy.
+var (
+	ConnectRTT        = measure.ConnectRTT
+	MinConnectRTT     = measure.MinConnectRTT
+	DialThrough       = proxy.DialThrough
+	ConnectRTTThrough = proxy.ConnectRTTThrough
+)
+
+// Measurement persistence (the JSON format cmd/geolocate consumes).
+var (
+	WriteMeasurements = measure.WriteMeasurements
+	ReadMeasurements  = measure.ReadMeasurements
+)
+
+// Assessment.
+type (
+	// Verdict classifies a location claim.
+	Verdict = assess.Verdict
+	// AssessResult is one server's full assessment.
+	AssessResult = assess.Result
+	// Tally aggregates verdicts (Figure 17).
+	Tally = assess.Tally
+	// IPDatabase is one of the five synthetic IP-to-location databases.
+	IPDatabase = ipdb.Database
+)
+
+// Verdicts.
+const (
+	// ClaimCredible: the prediction region lies entirely in the claimed country.
+	ClaimCredible = assess.Credible
+	// ClaimUncertain: the region covers the claimed country and others.
+	ClaimUncertain = assess.Uncertain
+	// ClaimFalse: the region does not touch the claimed country at all.
+	ClaimFalse = assess.False
+)
+
+// Experiments.
+type (
+	// Lab bundles the full experimental setup of the paper.
+	Lab = experiments.Lab
+	// LabConfig sizes a Lab.
+	LabConfig = experiments.Config
+	// AuditRun is the memoized output of the §6 pipeline.
+	AuditRun = experiments.AuditRun
+)
+
+// NewLab builds and calibrates a complete experimental setup.
+func NewLab(cfg LabConfig) (*Lab, error) { return experiments.NewLab(cfg) }
+
+// PaperConfig reproduces the paper's scale (2269 servers, 250 anchors).
+func PaperConfig() LabConfig { return experiments.PaperConfig() }
+
+// QuickConfig is a reduced-scale configuration for quick runs.
+func QuickConfig() LabConfig { return experiments.QuickConfig() }

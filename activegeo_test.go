@@ -1,0 +1,161 @@
+package activegeo
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestFacadeGeodesy(t *testing.T) {
+	paris := Point{Lat: 48.86, Lon: 2.35}
+	london := Point{Lat: 51.51, Lon: -0.13}
+	if d := DistanceKm(paris, london); math.Abs(d-344) > 10 {
+		t.Errorf("Paris-London = %f", d)
+	}
+	if BaselineSpeedKmPerMs != 200 || math.Abs(SlowlineSpeedKmPerMs-84.5) > 0.01 {
+		t.Error("constants")
+	}
+	c := Cap{Center: paris, RadiusKm: 400}
+	if !c.Contains(london) {
+		t.Error("cap")
+	}
+	r := Ring{Center: paris, MinKm: 100, MaxKm: 400}
+	if !r.Contains(london) {
+		t.Error("ring")
+	}
+}
+
+func TestFacadeGridAndCountries(t *testing.T) {
+	g := NewGrid(2.0)
+	if g.NumCells() < 5000 {
+		t.Errorf("cells = %d", g.NumCells())
+	}
+	if c := CountryByCode("de"); c == nil || c.Name != "Germany" {
+		t.Error("CountryByCode")
+	}
+	if c := LocateCountry(Point{Lat: 52.52, Lon: 13.405}); c == nil || c.Code != "de" {
+		t.Error("LocateCountry")
+	}
+}
+
+func TestFacadeEtaHelpers(t *testing.T) {
+	var direct, indirect []float64
+	for i := 1; i <= 60; i++ {
+		d := float64(i) * 3
+		direct = append(direct, d)
+		indirect = append(indirect, d/0.49)
+	}
+	eta, r2, err := EstimateEta(direct, indirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eta-0.49) > 0.01 || r2 < 0.999 {
+		t.Errorf("eta=%f r2=%f", eta, r2)
+	}
+	s := []Sample{{LandmarkID: "x", RTTms: 100}}
+	out := CorrectForProxy(s, 100, DefaultEta)
+	if len(out) != 1 || math.Abs(out[0].RTTms-51) > 1e-9 {
+		t.Errorf("corrected %v", out)
+	}
+	if len(Measurements(out)) != 1 {
+		t.Error("Measurements")
+	}
+}
+
+func TestFacadeVerdicts(t *testing.T) {
+	if ClaimCredible.String() != "credible" || ClaimFalse.String() != "false" || ClaimUncertain.String() != "uncertain" {
+		t.Error("verdict aliases")
+	}
+}
+
+func TestFacadeRealNetwork(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := ConnectRTT(ctx, ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinConnectRTT(ctx, ln.Addr().String(), 3); err != nil {
+		t.Fatal(err)
+	}
+
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := &Forwarder{}
+	go func() { _ = fwd.Serve(pln) }()
+	defer fwd.Close()
+	if _, err := ConnectRTTThrough(ctx, pln.Addr().String(), ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := DialThrough(ctx, pln.Addr().String(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+}
+
+func TestFacadeLabEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lab build is slow")
+	}
+	lab, err := NewLab(LabConfig{
+		Seed: 5, Anchors: 30, Probes: 20, GridResDeg: 2.5,
+		FleetTotal: 40, Volunteers: 3, MTurkers: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := HostID("facade-target")
+	loc := Point{Lat: 40.42, Lon: -3.70} // Madrid
+	if err := lab.Net.AddHost(&Host{ID: target, Loc: loc}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	tp := &TwoPhase{Cons: lab.Cons, Tool: &CLITool{Net: lab.Net}}
+	res, err := tp.Run(target, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := lab.CBGpp.Locate(Measurements(res.Samples()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.Empty() {
+		t.Fatal("empty region")
+	}
+	c, _ := region.Centroid()
+	if d := DistanceKm(c, loc); d > 4000 {
+		t.Errorf("centroid %.0f km off at tiny scale", d)
+	}
+	run, err := lab.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) < 30 {
+		t.Errorf("audited %d servers", len(run.Results))
+	}
+	if PaperConfig().FleetTotal != 2269 {
+		t.Error("PaperConfig scale")
+	}
+	if QuickConfig().Anchors == 0 {
+		t.Error("QuickConfig")
+	}
+}

@@ -1,0 +1,64 @@
+// Command atlasd runs the measurement coordination server of §4.1 over
+// real HTTP: it builds a (simulated) landmark constellation, calibrates
+// the per-landmark delay–distance models, and serves landmark lists and
+// models to measurement tools, collecting their uploaded reports.
+//
+// Usage:
+//
+//	atlasd [-addr 127.0.0.1:8080] [-anchors 120] [-probes 200] [-seed 2018]
+//
+// Endpoints:
+//
+//	GET  /v1/landmarks/phase1
+//	GET  /v1/landmarks/phase2?continent=Europe&n=25
+//	GET  /v1/model/{landmark-id}
+//	POST /v1/report
+//	GET  /v1/healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/atlasd"
+	"activegeo/internal/cbg"
+	"activegeo/internal/netsim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	anchors := flag.Int("anchors", 120, "number of anchors")
+	probes := flag.Int("probes", 200, "number of stable probes")
+	seed := flag.Int64("seed", 2018, "world seed")
+	flag.Parse()
+
+	simNet := netsim.New(*seed)
+	rng := rand.New(rand.NewSource(*seed))
+	cons, err := atlas.Build(simNet, atlas.Config{
+		Anchors:        *anchors,
+		Probes:         *probes,
+		SamplesPerPair: 4,
+	}, rng)
+	if err != nil {
+		log.Fatalf("building constellation: %v", err)
+	}
+	cal, err := cbg.Calibrate(cons, cbg.Options{Slowline: true})
+	if err != nil {
+		log.Fatalf("calibrating: %v", err)
+	}
+	srv := atlasd.NewServer(cons, cal, *seed)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "atlasd: %d anchors + %d probes calibrated; serving on http://%s\n",
+		*anchors, *probes, ln.Addr())
+	log.Fatal(http.Serve(ln, srv.Handler()))
+}

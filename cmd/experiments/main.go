@@ -1,0 +1,186 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them as text.
+//
+// Usage:
+//
+//	experiments [-scale quick|paper] [-only substring] [-csv dir]
+//
+// The quick scale (default) runs the whole evaluation in a few minutes
+// at roughly a tenth of the paper's size; the paper scale uses 250
+// anchors and 2269 proxy servers and takes correspondingly longer.
+// With -csv, each figure's data series is also written as CSV for
+// replotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"activegeo/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
+	only := flag.String("only", "", "run only experiments whose name contains this substring (e.g. 'Fig 17')")
+	csvDir := flag.String("csv", "", "also write each figure's data series as CSV into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatalf("creating csv dir: %v", err)
+		}
+	}
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickConfig()
+	case "paper":
+		cfg = experiments.PaperConfig()
+	default:
+		log.Fatalf("unknown scale %q (want quick or paper)", *scale)
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building lab (%d anchors, %d probes, %d servers)…\n",
+		cfg.Anchors, cfg.Probes, cfg.FleetTotal)
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		log.Fatalf("building lab: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "lab ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	// csvOut opens a CSV file in the export directory, or returns nil.
+	csvOut := func(name string) *os.File {
+		if *csvDir == "" {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(*csvDir, experiments.CSVName(name)))
+		if err != nil {
+			log.Printf("csv %s: %v", name, err)
+			return nil
+		}
+		return f
+	}
+	exportCSV := func(name string, write func(f *os.File) error) {
+		f := csvOut(name)
+		if f == nil {
+			return
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			log.Printf("csv %s: %v", name, err)
+		}
+	}
+
+	type renderer func() (string, error)
+	exps := []struct {
+		name string
+		run  renderer
+	}{
+		{"Fig 2", func() (string, error) { r, err := lab.Fig2Calibration(); return render(r, err) }},
+		{"Fig 4", func() (string, error) { r, err := lab.Fig4ToolValidation(); return render(r, err) }},
+		{"Fig 5/6", func() (string, error) {
+			rows, err := lab.Fig5Windows()
+			if err != nil {
+				return "", err
+			}
+			exportCSV("fig5", func(f *os.File) error { return experiments.WriteFig5CSV(f, rows) })
+			return experiments.RenderFig5(rows), nil
+		}},
+		{"Fig 9", func() (string, error) {
+			rows, records, err := lab.Fig9Detailed()
+			if err != nil {
+				return "", err
+			}
+			exportCSV("fig9", func(f *os.File) error { return experiments.WriteFig9CSV(f, rows) })
+			exportCSV("fig9_hosts", func(f *os.File) error { return experiments.WriteFig9HostsCSV(f, records) })
+			return experiments.RenderFig9(rows), nil
+		}},
+		{"Fig 10", func() (string, error) { r, err := lab.Fig10EstimateRatios(); return render(r, err) }},
+		{"Fig 11", func() (string, error) {
+			r, err := lab.Fig11LandmarkEffectiveness(8)
+			if err != nil {
+				return "", err
+			}
+			exportCSV("fig11", func(f *os.File) error { return experiments.WriteFig11CSV(f, r) })
+			return r.Render(), nil
+		}},
+		{"§5.1 coverage", func() (string, error) { r, err := lab.CBGppCoverage(); return render(r, err) }},
+		{"Fig 13", func() (string, error) { r, err := lab.Fig13Eta(); return render(r, err) }},
+		{"Fig 14", func() (string, error) { return lab.Fig14Market().Render(), nil }},
+		{"Fig 15/16", func() (string, error) { r, err := lab.Fig16Disambiguation(); return render(r, err) }},
+		{"Fig 17", func() (string, error) {
+			r, err := lab.Fig17Assessment()
+			if err != nil {
+				return "", err
+			}
+			exportCSV("fig17", func(f *os.File) error { return experiments.WriteFig17CSV(f, r) })
+			return r.Render(), nil
+		}},
+		{"Fig 18/19", func() (string, error) {
+			r, err := lab.Fig18HonestyByCountry()
+			if err != nil {
+				return "", err
+			}
+			exportCSV("fig18", func(f *os.File) error { return experiments.WriteFig18CSV(f, r) })
+			return r.Render(), nil
+		}},
+		{"Fig 20", func() (string, error) { r, err := lab.Fig20RegionSizeVsLandmark(); return render(r, err) }},
+		{"Fig 21", func() (string, error) {
+			rows, err := lab.Fig21Comparison()
+			if err != nil {
+				return "", err
+			}
+			exportCSV("fig21", func(f *os.File) error { return experiments.WriteFig21CSV(f, rows) })
+			return experiments.RenderFig21(rows), nil
+		}},
+		{"Fig 22/23", func() (string, error) {
+			r, err := lab.Fig22_23Confusion()
+			if err != nil {
+				return "", err
+			}
+			exportCSV("fig22", func(f *os.File) error { return experiments.WriteFig22CSV(f, r) })
+			exportCSV("fig23", func(f *os.File) error { return experiments.WriteFig23CSV(f, r) })
+			return r.Render(), nil
+		}},
+		{"Ext refinement", func() (string, error) { r, err := lab.ExtRefinement(10); return render(r, err) }},
+		{"Ext co-location", func() (string, error) { r, err := lab.ExtCoLocation("A", 80); return render(r, err) }},
+		{"Ext indirect error", func() (string, error) { r, err := lab.ExtIndirectError(25); return render(r, err) }},
+		{"Ext adversary", func() (string, error) { r, err := lab.ExtAdversary(); return render(r, err) }},
+		{"Ext constellations", func() (string, error) { r, err := lab.ExtConstellations(); return render(r, err) }},
+	}
+
+	failures := 0
+	for _, e := range exps {
+		if *only != "" && !strings.Contains(e.name, *only) {
+			continue
+		}
+		t0 := time.Now()
+		out, err := e.run()
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "%s: FAILED: %v\n", e.name, err)
+			continue
+		}
+		fmt.Println(strings.TrimRight(out, "\n"))
+		fmt.Fprintf(os.Stderr, "  (%s in %v)\n", e.name, time.Since(t0).Round(time.Millisecond))
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+type renderable interface{ Render() string }
+
+func render(r renderable, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}

@@ -1,0 +1,140 @@
+// Command geolocate estimates a target's location from a JSON file of
+// round-trip-time measurements to landmarks in known positions.
+//
+// Usage:
+//
+//	geolocate -alg cbg++ measurements.json
+//
+// The input is a JSON array:
+//
+//	[
+//	  {"landmark": "fra-anchor", "lat": 50.11, "lon": 8.68, "rtt_ms": 21.4},
+//	  {"landmark": "ams-anchor", "lat": 52.37, "lon": 4.89, "rtt_ms": 24.9}
+//	]
+//
+// Because the landmarks in the file are not part of a calibration mesh,
+// all algorithms use their pooled delay–distance model, calibrated on a
+// simulated constellation with the given seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/cbg"
+	"activegeo/internal/cbgpp"
+	"activegeo/internal/geoloc"
+	"activegeo/internal/hybrid"
+	"activegeo/internal/measure"
+	"activegeo/internal/netsim"
+	"activegeo/internal/octant"
+	"activegeo/internal/spotter"
+	"activegeo/internal/vis"
+	"activegeo/internal/worldmap"
+)
+
+func main() {
+	algName := flag.String("alg", "cbg++", "algorithm: cbg, cbg++, octant, spotter, hybrid")
+	resDeg := flag.Float64("res", 1.0, "grid resolution in degrees")
+	seed := flag.Int64("seed", 2018, "calibration seed")
+	showMap := flag.Bool("map", false, "draw the prediction region on an ASCII world map")
+	mapWidth := flag.Int("map-width", 120, "map width in characters")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: geolocate [-alg name] measurements.json")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := measure.ReadMeasurements(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("parsing %s: %v", flag.Arg(0), err)
+	}
+	if len(ms) == 0 {
+		log.Fatal("no measurements in input")
+	}
+
+	// Calibrate pooled models on a simulated constellation.
+	net := netsim.New(*seed)
+	cons, err := atlas.Build(net, atlas.Config{Anchors: 120, Probes: 0, SamplesPerPair: 4},
+		rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := geoloc.NewEnv(*resDeg)
+
+	var alg geoloc.Algorithm
+	switch *algName {
+	case "cbg":
+		cal, cerr := cbg.Calibrate(cons, cbg.Options{})
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		alg = cbg.New(env, cal)
+	case "cbg++":
+		cal, cerr := cbgpp.Calibrate(cons, cbgpp.Options{})
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		alg = cbgpp.New(env, cal, cbgpp.Options{})
+	case "octant":
+		cal, cerr := octant.Calibrate(cons)
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		alg = octant.New(env, cal)
+	case "spotter":
+		model, cerr := spotter.Calibrate(cons)
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		alg = spotter.New(env, model)
+	case "hybrid":
+		model, cerr := spotter.Calibrate(cons)
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		alg = hybrid.New(env, model)
+	default:
+		log.Fatalf("unknown algorithm %q", *algName)
+	}
+
+	region, err := alg.Locate(ms)
+	if err != nil {
+		log.Fatalf("locate: %v", err)
+	}
+	if region.Empty() {
+		fmt.Println("no region consistent with the measurements (empty intersection)")
+		os.Exit(1)
+	}
+	centroid, _ := region.Centroid()
+	fmt.Printf("algorithm: %s\n", alg.Name())
+	fmt.Printf("region:    %d cells, %.0f km²\n", region.Count(), region.AreaKm2())
+	fmt.Printf("centroid:  %v\n", centroid)
+	codes := env.Mask.CountriesOverlapping(region)
+	if len(codes) > 0 {
+		fmt.Printf("countries: ")
+		for i, code := range codes {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			if c := worldmap.ByCode(code); c != nil {
+				fmt.Printf("%s (%s)", c.Name, code)
+			} else {
+				fmt.Print(code)
+			}
+		}
+		fmt.Println()
+	}
+	if *showMap {
+		fmt.Println(vis.RenderRegion(region, *mapWidth, nil))
+	}
+}

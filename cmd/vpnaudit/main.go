@@ -1,0 +1,128 @@
+// Command vpnaudit runs the paper's §6 audit over the simulated VPN
+// fleet and prints per-provider and per-server verdicts.
+//
+// Usage:
+//
+//	vpnaudit [-scale quick|paper] [-provider A] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"activegeo/internal/assess"
+	"activegeo/internal/experiments"
+	"activegeo/internal/vis"
+)
+
+// printHonestyMaps renders the Figure 19 analogue: one world map per
+// provider, each claimed country shaded by how many of its claims the
+// measurements back up ('#' all backed … 'x' none; '?' claimed but
+// unmeasured).
+func printHonestyMaps(fig18 *experiments.Fig18Result, only string) {
+	byProv := map[string]map[string]assess.HonestyCell{}
+	for _, c := range fig18.Cells {
+		if byProv[c.Provider] == nil {
+			byProv[c.Provider] = map[string]assess.HonestyCell{}
+		}
+		byProv[c.Provider][c.Country] = c
+	}
+	provs := make([]string, 0, len(byProv))
+	for p := range byProv {
+		provs = append(provs, p)
+	}
+	sort.Strings(provs)
+	for _, p := range provs {
+		if only != "" && p != only {
+			continue
+		}
+		cells := byProv[p]
+		fmt.Printf("provider %s claim honesty ('#' ≥75%%, '+' ≥50%%, '-' ≥25%%, 'x' <25%%):\n", p)
+		fmt.Println(vis.CountryMap(120, func(code string) rune {
+			c, ok := cells[code]
+			if !ok {
+				return 0 // not claimed: plain land
+			}
+			switch h := c.Honesty(); {
+			case h >= 0.75:
+				return '#'
+			case h >= 0.50:
+				return '+'
+			case h >= 0.25:
+				return '-'
+			default:
+				return 'x'
+			}
+		}))
+	}
+}
+
+func main() {
+	scale := flag.String("scale", "quick", "audit scale: quick or paper")
+	provider := flag.String("provider", "", "restrict per-server output to one provider (A–G)")
+	verbose := flag.Bool("v", false, "print one line per server")
+	maps := flag.Bool("maps", false, "draw a Figure 19-style honesty world map per provider")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickConfig()
+	case "paper":
+		cfg = experiments.PaperConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	start := time.Now()
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		log.Fatalf("building lab: %v", err)
+	}
+	run, err := lab.Audit()
+	if err != nil {
+		log.Fatalf("audit: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "audited %d servers in %v\n", len(run.Results), time.Since(start).Round(time.Millisecond))
+
+	fig17, err := lab.Fig17Assessment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig17.Render())
+
+	fig18, err := lab.Fig18HonestyByCountry()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig18.Render())
+
+	rows, err := lab.Fig21Comparison()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderFig21(rows))
+
+	if *maps {
+		printHonestyMaps(fig18, *provider)
+	}
+
+	if *verbose || *provider != "" {
+		fmt.Println("per-server verdicts:")
+		for _, r := range run.Results {
+			if *provider != "" && r.Provider != *provider {
+				continue
+			}
+			extra := ""
+			if r.Verdict == assess.Uncertain && len(r.Candidates) > 1 {
+				extra = fmt.Sprintf(" (could be: %v)", r.Candidates)
+			}
+			fmt.Printf("  %-14s provider %s  claimed %s  verdict %-9s probable %s%s\n",
+				r.ServerID, r.Provider, r.ClaimedCountry, r.Verdict, r.ProbableCountry, extra)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	srvOnce sync.Once
+	srvFix  *demoServer
+)
+
+func demoFixture(t *testing.T) *demoServer {
+	t.Helper()
+	srvOnce.Do(func() {
+		var err error
+		srvFix, err = newDemoServer(7)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return srvFix
+}
+
+func TestIndexPage(t *testing.T) {
+	d := demoFixture(t)
+	rec := httptest.NewRecorder()
+	d.handleIndex(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	body := rec.Body.String()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(body, "Active geolocation") || !strings.Contains(body, `action="/locate"`) {
+		t.Error("index page incomplete")
+	}
+}
+
+func TestLocateEndpoint(t *testing.T) {
+	d := demoFixture(t)
+	rec := httptest.NewRecorder()
+	d.handleLocate(rec, httptest.NewRequest(http.MethodGet, "/locate?lat=52.52&lon=13.40", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "<svg") {
+		t.Error("no SVG in response")
+	}
+	if !strings.Contains(body, "Prediction for") {
+		t.Error("no verdict text")
+	}
+	if !strings.Contains(body, "could be:") {
+		t.Error("no candidate countries")
+	}
+	// A second locate must work (unique target IDs).
+	rec2 := httptest.NewRecorder()
+	d.handleLocate(rec2, httptest.NewRequest(http.MethodGet, "/locate?lat=40.71&lon=-74.01", nil))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("second locate: %d", rec2.Code)
+	}
+}
+
+func TestLocateValidation(t *testing.T) {
+	d := demoFixture(t)
+	for _, q := range []string{"", "lat=abc&lon=0", "lat=91&lon=0", "lat=0&lon=181"} {
+		rec := httptest.NewRecorder()
+		d.handleLocate(rec, httptest.NewRequest(http.MethodGet, "/locate?"+q, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("query %q: status %d", q, rec.Code)
+		}
+	}
+}
+
+func TestLocateOverHTTP(t *testing.T) {
+	d := demoFixture(t)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", d.handleIndex)
+	mux.HandleFunc("/locate", d.handleLocate)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/locate?lat=1.35&lon=103.82")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "<svg") {
+		t.Errorf("live request failed: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,68 @@
+package activegeo_test
+
+import (
+	"fmt"
+
+	"activegeo"
+)
+
+// The geodesy primitives are plain value types.
+func ExampleDistanceKm() {
+	paris := activegeo.Point{Lat: 48.8566, Lon: 2.3522}
+	london := activegeo.Point{Lat: 51.5074, Lon: -0.1278}
+	fmt.Printf("%.0f km\n", activegeo.DistanceKm(paris, london))
+	// Output: 344 km
+}
+
+// A Cap is the multilateration primitive: "within r km of here".
+func ExampleCap() {
+	bourges := activegeo.Point{Lat: 47.08, Lon: 2.40}
+	disk := activegeo.Cap{Center: bourges, RadiusKm: 500}
+	brussels := activegeo.Point{Lat: 50.85, Lon: 4.35}
+	fmt.Println(disk.Contains(brussels))
+	// Output: true
+}
+
+// Countries come from the built-in world atlas, with the paper's
+// Appendix A continent scheme.
+func ExampleCountryByCode() {
+	de := activegeo.CountryByCode("de")
+	fmt.Println(de.Name, "—", de.Continent)
+	sa := activegeo.CountryByCode("sa")
+	fmt.Println(sa.Name, "—", sa.Continent)
+	// Output:
+	// Germany — Europe
+	// Saudi Arabia — Africa
+}
+
+// LocateCountry is the point-in-country primitive the assessment
+// pipeline builds on.
+func ExampleLocateCountry() {
+	c := activegeo.LocateCountry(activegeo.Point{Lat: 52.52, Lon: 13.405})
+	fmt.Println(c.Code)
+	// Output: de
+}
+
+// η converts indirect (through-proxy) measurements into proxy-to-
+// landmark times: A = B − ηC.
+func ExampleCorrectForProxy() {
+	samples := []activegeo.Sample{{LandmarkID: "fra", RTTms: 120}}
+	selfPing := 40.0 // the client pinging itself through the proxy
+	corrected := activegeo.CorrectForProxy(samples, selfPing, activegeo.DefaultEta)
+	fmt.Printf("%.1f ms\n", corrected[0].RTTms)
+	// Output: 100.4 ms
+}
+
+// Grids discretize the Earth; regions are cell sets over them.
+func ExampleNewGrid() {
+	g := activegeo.NewGrid(1.0)
+	region := g.CapRegion(activegeo.Cap{
+		Center:   activegeo.Point{Lat: 50.85, Lon: 4.35},
+		RadiusKm: 300,
+	})
+	fmt.Println(region.ContainsPoint(activegeo.Point{Lat: 52.37, Lon: 4.89})) // Amsterdam
+	fmt.Println(region.ContainsPoint(activegeo.Point{Lat: 40.71, Lon: -74.0}))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,91 @@
+// Censorship: the paper's motivating scenario (§1). A censorship
+// monitor wants vantage points that are *really* inside specific
+// countries — appearing to be there (IP-to-location says so) is not
+// enough. This example screens every provider's servers claimed in the
+// countries of interest and keeps only those whose location CBG++
+// verifies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"activegeo"
+	"activegeo/internal/assess"
+	"activegeo/internal/measure"
+)
+
+// Countries where we want genuine in-country vantage points.
+var wanted = []string{"ru", "in", "br", "za", "mx"}
+
+func main() {
+	lab, err := activegeo.NewLab(activegeo.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+
+	fmt.Println("screening VPN servers for censorship-monitoring vantage points")
+	fmt.Printf("wanted countries: %v\n\n", wanted)
+
+	type candidate struct {
+		server   *activegeo.ProxyServer
+		verdict  activegeo.Verdict
+		probable string
+	}
+	byCountry := map[string][]candidate{}
+
+	for _, s := range lab.Fleet.Servers() {
+		if !contains(wanted, s.ClaimedCountry) {
+			continue
+		}
+		res, err := measure.ProxiedTwoPhase(lab.Cons, lab.Client, s.Host.ID, activegeo.DefaultEta, rng)
+		if err != nil {
+			continue
+		}
+		region, err := lab.CBGpp.Locate(res.Measurements())
+		if err != nil {
+			continue
+		}
+		a := assess.Assess(lab.Env.Mask, region, string(s.Host.ID), s.Provider, s.ClaimedCountry)
+		byCountry[s.ClaimedCountry] = append(byCountry[s.ClaimedCountry], candidate{
+			server: s, verdict: a.Verdict, probable: a.ProbableCountry,
+		})
+	}
+
+	usable := 0
+	for _, country := range wanted {
+		cands := byCountry[country]
+		name := country
+		if c := activegeo.CountryByCode(country); c != nil {
+			name = c.Name
+		}
+		fmt.Printf("%s: %d servers advertised\n", name, len(cands))
+		for _, c := range cands {
+			switch c.verdict {
+			case activegeo.ClaimCredible:
+				usable++
+				fmt.Printf("  ✓ %s (provider %s): location verified — safe to use\n",
+					c.server.Host.ID, c.server.Provider)
+			case activegeo.ClaimFalse:
+				fmt.Printf("  ✗ %s (provider %s): NOT in %s — measurements place it near %s\n",
+					c.server.Host.ID, c.server.Provider, name, c.probable)
+			default:
+				fmt.Printf("  ? %s (provider %s): cannot confirm (region spans several countries)\n",
+					c.server.Host.ID, c.server.Provider)
+			}
+		}
+	}
+	fmt.Printf("\n%d verified vantage points found.\n", usable)
+	fmt.Println("Using unverified servers risks attributing another country's network behavior to the censored one — exactly the failure that motivated the paper.")
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a simulated world, measure a target with the
+// two-phase procedure, locate it with CBG++, and inspect the prediction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"activegeo"
+	"activegeo/internal/vis"
+)
+
+func main() {
+	// A Lab bundles the network simulator, the landmark constellation
+	// (the RIPE Atlas stand-in), the calibrated algorithms, a VPN fleet
+	// and a crowdsourced cohort. QuickConfig is a reduced scale that
+	// builds in a few seconds.
+	lab, err := activegeo.NewLab(activegeo.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drop a target host in Amsterdam that only we know the location of.
+	target := activegeo.HostID("mystery-host")
+	trueLoc := activegeo.Point{Lat: 52.37, Lon: 4.89}
+	if err := lab.Net.AddHost(&activegeo.Host{ID: target, Loc: trueLoc}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two-phase measurement (§4.1): a few anchors per continent to find
+	// the continent, then 25 random same-continent landmarks.
+	rng := rand.New(rand.NewSource(1))
+	tp := &activegeo.TwoPhase{
+		Cons: lab.Cons,
+		Tool: &activegeo.CLITool{Net: lab.Net},
+	}
+	res, err := tp.Run(target, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1 deduced continent: %s (%d + %d measurements)\n",
+		res.Continent, len(res.Phase1), len(res.Phase2))
+
+	// Locate with CBG++ (§5.1).
+	region, err := lab.CBGpp.Locate(res.Measurements())
+	if err != nil {
+		log.Fatal(err)
+	}
+	centroid, _ := region.Centroid()
+	fmt.Printf("prediction: %s\n", region)
+	fmt.Printf("centroid is %.0f km from the true location\n",
+		activegeo.DistanceKm(centroid, trueLoc))
+
+	// Which countries could the host be in?
+	fmt.Print("candidate countries: ")
+	for i, code := range lab.Env.Mask.CountriesOverlapping(region) {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		if c := activegeo.CountryByCode(code); c != nil {
+			fmt.Print(c.Name)
+		}
+	}
+	fmt.Println()
+
+	if region.ContainsPoint(trueLoc) {
+		fmt.Println("the region covers the true location ✓")
+	} else {
+		fmt.Printf("the region misses the true location by %.0f km\n",
+			region.DistanceToPointKm(trueLoc))
+	}
+
+	// Draw it ('#' = prediction region, 'X' = true location).
+	fmt.Println(vis.RenderRegion(region, 100, &trueLoc))
+}

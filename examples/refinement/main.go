@@ -1,0 +1,62 @@
+// Refinement: the paper's §8.1 proposal in action. A sparse two-phase
+// measurement produces a coarse prediction; the Refiner then pulls in
+// the unused landmarks nearest the current estimate, round by round,
+// until the region stops shrinking — and draws the before/after maps.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"activegeo"
+	"activegeo/internal/geoloc"
+	"activegeo/internal/grid"
+	"activegeo/internal/measure"
+	"activegeo/internal/vis"
+)
+
+func main() {
+	lab, err := activegeo.NewLab(activegeo.QuickConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := activegeo.HostID("refine-demo")
+	trueLoc := activegeo.Point{Lat: 41.9, Lon: 12.5} // Rome
+	if err := lab.Net.AddHost(&activegeo.Host{ID: target, Loc: trueLoc}); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	tool := &activegeo.CLITool{Net: lab.Net}
+
+	// Deliberately sparse start: only 6 second-phase landmarks.
+	tp := &activegeo.TwoPhase{Cons: lab.Cons, Tool: tool, SecondPhase: 6}
+	initial, err := tp.Run(target, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coarse, err := lab.CBGpp.Locate(initial.Measurements())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial (%d measurements): %s\n", len(initial.Measurements()), coarse)
+	fmt.Println(vis.RenderRegion(coarse, 90, &trueLoc))
+
+	ref := &measure.Refiner{
+		Cons:   lab.Cons,
+		Tool:   tool,
+		Locate: func(ms []geoloc.Measurement) (*grid.Region, error) { return lab.CBGpp.Locate(ms) },
+	}
+	res, err := ref.Run(target, initial.Measurements(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter %d refinement rounds (%d measurements): %s\n",
+		res.Rounds, len(res.Measurements), res.Region)
+	fmt.Printf("area history: %.0f", res.AreaHistory[0])
+	for _, a := range res.AreaHistory[1:] {
+		fmt.Printf(" → %.0f", a)
+	}
+	fmt.Println(" km²")
+	fmt.Println(vis.RenderRegion(res.Region, 90, &trueLoc))
+}

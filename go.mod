@@ -1,0 +1,3 @@
+module activegeo
+
+go 1.22

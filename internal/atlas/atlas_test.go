@@ -1,0 +1,236 @@
+package atlas
+
+import (
+	"math/rand"
+	"testing"
+
+	"activegeo/internal/geo"
+	"activegeo/internal/netsim"
+	"activegeo/internal/worldmap"
+)
+
+func buildSmall(t testing.TB) *Constellation {
+	t.Helper()
+	net := netsim.New(7)
+	rng := rand.New(rand.NewSource(7))
+	c, err := Build(net, Config{Anchors: 60, Probes: 120, SamplesPerPair: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildCounts(t *testing.T) {
+	c := buildSmall(t)
+	if len(c.Anchors()) != 60 {
+		t.Errorf("anchors = %d", len(c.Anchors()))
+	}
+	if len(c.Probes()) != 120 {
+		t.Errorf("probes = %d", len(c.Probes()))
+	}
+	if len(c.All()) != 180 {
+		t.Errorf("all = %d", len(c.All()))
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	net := netsim.New(1)
+	if _, err := Build(net, Config{Anchors: 2}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("too few anchors should fail")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	build := func() *Constellation {
+		net := netsim.New(7)
+		c, err := Build(net, Config{Anchors: 20, Probes: 10, SamplesPerPair: 2}, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := build(), build()
+	for i := range a.Anchors() {
+		pa, pb := a.Anchors()[i].Host.Loc, b.Anchors()[i].Host.Loc
+		if pa != pb {
+			t.Fatalf("anchor %d placed differently: %v vs %v", i, pa, pb)
+		}
+	}
+	ca := a.Calibration(a.Anchors()[0].Host.ID)
+	cb := b.Calibration(b.Anchors()[0].Host.ID)
+	if len(ca) != len(cb) || ca[0] != cb[0] {
+		t.Error("calibration not deterministic")
+	}
+}
+
+func TestEuropeanSkew(t *testing.T) {
+	c := buildSmall(t)
+	byCont := c.ByContinent()
+	eu := len(byCont[worldmap.Europe])
+	if eu < len(c.All())/3 {
+		t.Errorf("Europe has %d of %d landmarks; expected the paper's European skew", eu, len(c.All()))
+	}
+	// At least five continent groups should be populated.
+	populated := 0
+	for _, lms := range byCont {
+		if len(lms) > 0 {
+			populated++
+		}
+	}
+	if populated < 5 {
+		t.Errorf("only %d continents populated", populated)
+	}
+}
+
+func TestCalibrationShape(t *testing.T) {
+	c := buildSmall(t)
+	a0 := c.Anchors()[0]
+	pts := c.Calibration(a0.Host.ID)
+	// 3 samples per pair, all kept.
+	if want := (len(c.Anchors()) - 1) * 3; len(pts) != want {
+		t.Fatalf("calibration has %d points, want %d", len(pts), want)
+	}
+	pairs := c.CalibrationPairs(a0.Host.ID)
+	if len(pairs) != len(c.Anchors())-1 {
+		t.Fatalf("pairs = %d, want %d", len(pairs), len(c.Anchors())-1)
+	}
+	for _, p := range pairs {
+		if len(p.RTTms) != 3 {
+			t.Fatalf("pair has %d samples", len(p.RTTms))
+		}
+		min := p.MinRTTms()
+		for _, v := range p.RTTms {
+			if v < min {
+				t.Fatal("MinRTTms not minimal")
+			}
+		}
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X > geo.HalfEquatorKm+10 {
+			t.Errorf("bad distance %f", p.X)
+		}
+		if p.Y <= 0 {
+			t.Errorf("non-positive RTT %f", p.Y)
+		}
+		// Physical floor: RTT ≥ 2·dist/200.
+		if p.Y < 2*p.X/geo.BaselineSpeedKmPerMs-1e-9 {
+			t.Errorf("calibration point (%.0f km, %.1f ms) violates the physical floor", p.X, p.Y)
+		}
+	}
+}
+
+func TestProbesHaveNoCalibration(t *testing.T) {
+	c := buildSmall(t)
+	if pts := c.Calibration(c.Probes()[0].Host.ID); pts != nil {
+		t.Error("probes should have no mesh calibration")
+	}
+}
+
+func TestPooled(t *testing.T) {
+	c := buildSmall(t)
+	pooled := c.Pooled()
+	want := len(c.Anchors()) * (len(c.Anchors()) - 1) * 3
+	if len(pooled) != want {
+		t.Errorf("pooled size %d, want %d", len(pooled), want)
+	}
+}
+
+func TestLandmarkLookup(t *testing.T) {
+	c := buildSmall(t)
+	a0 := c.Anchors()[0]
+	if lm := c.Landmark(a0.Host.ID); lm != a0 {
+		t.Error("Landmark lookup failed")
+	}
+	if c.Landmark("nope") != nil {
+		t.Error("unknown landmark should be nil")
+	}
+}
+
+func TestRefreshCalibrationChangesSamples(t *testing.T) {
+	c := buildSmall(t)
+	id := c.Anchors()[0].Host.ID
+	var before []float64
+	for _, p := range c.Calibration(id) {
+		before = append(before, p.Y)
+	}
+	c.RefreshCalibration(3, rand.New(rand.NewSource(99)))
+	var changed bool
+	for i, p := range c.Calibration(id) {
+		if p.Y != before[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("refresh with a different rng should change at least one sample")
+	}
+}
+
+func TestLandmarkCountriesAreReal(t *testing.T) {
+	c := buildSmall(t)
+	for _, lm := range c.All() {
+		if worldmap.ByCode(lm.Host.Country) == nil {
+			t.Errorf("landmark %s has unknown country %q", lm.Host.ID, lm.Host.Country)
+		}
+	}
+}
+
+func TestChurn(t *testing.T) {
+	net := netsim.New(55)
+	rng := rand.New(rand.NewSource(55))
+	c, err := Build(net, Config{Anchors: 30, Probes: 10, SamplesPerPair: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's experience: 12 decommissioned, 61 added over the run.
+	dropped := c.Decommission(5, rng)
+	if len(dropped) != 5 {
+		t.Fatalf("dropped %d", len(dropped))
+	}
+	if len(c.Anchors()) != 25 {
+		t.Errorf("anchors = %d", len(c.Anchors()))
+	}
+	for _, id := range dropped {
+		if c.Landmark(id) != nil {
+			t.Errorf("decommissioned %s still a landmark", id)
+		}
+		if c.Calibration(id) != nil {
+			t.Errorf("decommissioned %s still has calibration", id)
+		}
+		// The host still exists on the network.
+		if net.Host(id) == nil {
+			t.Errorf("decommissioned %s vanished from the network", id)
+		}
+	}
+
+	added, err := c.AddAnchors(8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 8 || len(c.Anchors()) != 33 {
+		t.Fatalf("added %d, anchors %d", len(added), len(c.Anchors()))
+	}
+	// New anchors have no calibration until a refresh.
+	if c.Calibration(added[0]) != nil {
+		t.Error("new anchor calibrated before refresh")
+	}
+	c.RefreshCalibration(2, rng)
+	if len(c.Calibration(added[0])) == 0 {
+		t.Error("new anchor still uncalibrated after refresh")
+	}
+	// Decommissioned anchors are not mesh peers anymore.
+	for _, p := range c.CalibrationPairs(added[0]) {
+		for _, id := range dropped {
+			if p.Peer == id {
+				t.Errorf("mesh still pings decommissioned %s", id)
+			}
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net := netsim.New(7)
+		_, _ = Build(net, Config{Anchors: 60, Probes: 60, SamplesPerPair: 2}, rand.New(rand.NewSource(7)))
+	}
+}

@@ -1,0 +1,114 @@
+package atlas
+
+// City is a place where landmarks (anchors or probes) can be hosted.
+type City struct {
+	Country string // ISO code, matching worldmap
+	Name    string
+	Lat     float64
+	Lon     float64
+}
+
+// cities is the catalog of places landmark hosts are drawn from. The mix
+// mirrors the RIPE Atlas constellation's real skew (Figure 3): dense in
+// Europe, good in North America, present in Asia and South America, thin
+// in Africa and Oceania.
+var cities = []City{
+	// Europe (dense).
+	{"de", "Frankfurt", 50.11, 8.68}, {"de", "Berlin", 52.52, 13.41}, {"de", "Munich", 48.14, 11.58},
+	{"de", "Hamburg", 53.55, 9.99}, {"de", "Düsseldorf", 51.23, 6.78}, {"de", "Nuremberg", 49.45, 11.08},
+	{"nl", "Amsterdam", 52.37, 4.89}, {"nl", "Rotterdam", 51.92, 4.48}, {"nl", "Eindhoven", 51.44, 5.47},
+	{"gb", "London", 51.51, -0.13}, {"gb", "Manchester", 53.48, -2.24}, {"gb", "Edinburgh", 55.95, -3.19},
+	{"gb", "Cardiff", 51.48, -3.18}, {"fr", "Paris", 48.86, 2.35}, {"fr", "Lyon", 45.76, 4.84},
+	{"fr", "Marseille", 43.30, 5.37}, {"fr", "Bordeaux", 44.84, -0.58}, {"fr", "Roubaix", 50.69, 3.17},
+	{"cz", "Prague", 50.08, 14.44}, {"cz", "Brno", 49.20, 16.61},
+	{"pl", "Warsaw", 52.23, 21.01}, {"pl", "Krakow", 50.06, 19.94}, {"pl", "Poznan", 52.41, 16.93},
+	{"at", "Vienna", 48.21, 16.37}, {"ch", "Zurich", 47.38, 8.54}, {"ch", "Geneva", 46.20, 6.14},
+	{"be", "Brussels", 50.85, 4.35}, {"be", "Antwerp", 51.22, 4.40}, {"lu", "Luxembourg", 49.61, 6.13},
+	{"it", "Milan", 45.46, 9.19}, {"it", "Rome", 41.90, 12.50}, {"it", "Turin", 45.07, 7.69},
+	{"es", "Madrid", 40.42, -3.70}, {"es", "Barcelona", 41.39, 2.17}, {"es", "Valencia", 39.47, -0.38},
+	{"pt", "Lisbon", 38.72, -9.14}, {"pt", "Porto", 41.15, -8.61},
+	{"se", "Stockholm", 59.33, 18.07}, {"se", "Gothenburg", 57.71, 11.97}, {"se", "Malmö", 55.60, 13.00},
+	{"no", "Oslo", 59.91, 10.75}, {"no", "Bergen", 60.39, 5.32},
+	{"dk", "Copenhagen", 55.68, 12.57}, {"fi", "Helsinki", 60.17, 24.94}, {"fi", "Oulu", 65.01, 25.47},
+	{"ie", "Dublin", 53.35, -6.26}, {"is", "Reykjavik", 64.15, -21.94},
+	{"ee", "Tallinn", 59.44, 24.75}, {"lv", "Riga", 56.95, 24.11}, {"lt", "Vilnius", 54.69, 25.28},
+	{"ua", "Kyiv", 50.45, 30.52}, {"ua", "Lviv", 49.84, 24.03}, {"by", "Minsk", 53.90, 27.57},
+	{"ru", "Moscow", 55.76, 37.62}, {"ru", "St. Petersburg", 59.93, 30.34}, {"ru", "Novosibirsk", 55.03, 82.92},
+	{"ru", "Yekaterinburg", 56.84, 60.61}, {"ru", "Khabarovsk", 48.48, 135.07},
+	{"ro", "Bucharest", 44.43, 26.10}, {"ro", "Cluj", 46.77, 23.59},
+	{"bg", "Sofia", 42.70, 23.32}, {"gr", "Athens", 37.98, 23.73}, {"gr", "Thessaloniki", 40.64, 22.94},
+	{"hu", "Budapest", 47.50, 19.04}, {"sk", "Bratislava", 48.15, 17.11}, {"si", "Ljubljana", 46.05, 14.51},
+	{"hr", "Zagreb", 45.81, 15.98}, {"rs", "Belgrade", 44.79, 20.45}, {"ba", "Sarajevo", 43.86, 18.41},
+	{"mk", "Skopje", 41.99, 21.43}, {"al", "Tirana", 41.33, 19.82}, {"md", "Chisinau", 47.01, 28.86},
+	{"tr", "Istanbul", 41.01, 28.98}, {"tr", "Ankara", 39.93, 32.86}, {"tr", "Izmir", 38.42, 27.14},
+	{"mt", "Valletta", 35.90, 14.51}, {"ge", "Tbilisi", 41.72, 44.79},
+
+	// North America.
+	{"us", "Ashburn", 39.04, -77.49}, {"us", "New York", 40.71, -74.01}, {"us", "Chicago", 41.88, -87.63},
+	{"us", "Dallas", 32.78, -96.80}, {"us", "Los Angeles", 34.05, -118.24}, {"us", "San Jose", 37.34, -121.89},
+	{"us", "Seattle", 47.61, -122.33}, {"us", "Miami", 25.76, -80.19}, {"us", "Atlanta", 33.75, -84.39},
+	{"us", "Denver", 39.74, -104.99}, {"us", "Kansas City", 39.10, -94.58}, {"us", "Boston", 42.36, -71.06},
+	{"us", "Phoenix", 33.45, -112.07}, {"us", "Minneapolis", 44.98, -93.27}, {"us", "Portland", 45.52, -122.68},
+	{"us", "Salt Lake City", 40.76, -111.89}, {"us", "Honolulu", 21.31, -157.86}, {"us", "Anchorage", 61.22, -149.90},
+	{"ca", "Toronto", 43.65, -79.38}, {"ca", "Montreal", 45.50, -73.57}, {"ca", "Vancouver", 49.28, -123.12},
+	{"ca", "Calgary", 51.05, -114.07}, {"ca", "Winnipeg", 49.90, -97.14}, {"ca", "Halifax", 44.65, -63.57},
+
+	// Central / South America.
+	{"mx", "Mexico City", 19.43, -99.13}, {"mx", "Guadalajara", 20.67, -103.35}, {"mx", "Monterrey", 25.67, -100.31},
+	{"pa", "Panama City", 8.98, -79.52}, {"cr", "San José CR", 9.93, -84.08}, {"gt", "Guatemala City", 14.63, -90.51},
+	{"cu", "Havana", 23.11, -82.37}, {"do", "Santo Domingo", 18.47, -69.90}, {"pr", "San Juan", 18.47, -66.11},
+	{"br", "São Paulo", -23.55, -46.63}, {"br", "Rio de Janeiro", -22.91, -43.17}, {"br", "Fortaleza", -3.73, -38.52},
+	{"br", "Porto Alegre", -30.03, -51.23}, {"br", "Brasília", -15.79, -47.88}, {"br", "Manaus", -3.12, -60.02},
+	{"ar", "Buenos Aires", -34.60, -58.38}, {"ar", "Córdoba", -31.42, -64.18},
+	{"cl", "Santiago", -33.45, -70.67}, {"cl", "Valparaíso", -33.05, -71.62},
+	{"co", "Bogotá", 4.71, -74.07}, {"co", "Medellín", 6.25, -75.56},
+	{"pe", "Lima", -12.05, -77.04}, {"ec", "Quito", -0.18, -78.47}, {"uy", "Montevideo", -34.90, -56.16},
+	{"ve", "Caracas", 10.49, -66.88}, {"bo", "La Paz", -16.49, -68.12}, {"py", "Asunción", -25.26, -57.58},
+
+	// Asia.
+	{"jp", "Tokyo", 35.68, 139.65}, {"jp", "Osaka", 34.69, 135.50}, {"jp", "Fukuoka", 33.59, 130.40},
+	{"kr", "Seoul", 37.57, 126.98}, {"kr", "Busan", 35.18, 129.08},
+	{"cn", "Beijing", 39.90, 116.40}, {"cn", "Shanghai", 31.23, 121.47}, {"cn", "Guangzhou", 23.13, 113.26},
+	{"cn", "Chengdu", 30.57, 104.07}, {"hk", "Hong Kong", 22.32, 114.17}, {"tw", "Taipei", 25.03, 121.57},
+	{"in", "Mumbai", 19.08, 72.88}, {"in", "Delhi", 28.61, 77.21}, {"in", "Bangalore", 12.97, 77.59},
+	{"in", "Chennai", 13.08, 80.27}, {"th", "Bangkok", 13.76, 100.50}, {"vn", "Hanoi", 21.03, 105.85},
+	{"vn", "Ho Chi Minh City", 10.82, 106.63}, {"kh", "Phnom Penh", 11.56, 104.92},
+	{"pk", "Karachi", 24.86, 67.01}, {"bd", "Dhaka", 23.81, 90.41}, {"lk", "Colombo", 6.93, 79.85},
+	{"kz", "Almaty", 43.24, 76.95}, {"uz", "Tashkent", 41.30, 69.24}, {"am", "Yerevan", 40.18, 44.51},
+	{"az", "Baku", 40.41, 49.87}, {"ir", "Tehran", 35.69, 51.39}, {"mn", "Ulaanbaatar", 47.89, 106.91},
+	{"np", "Kathmandu", 27.72, 85.32},
+
+	// Africa & Middle East.
+	{"za", "Johannesburg", -26.20, 28.05}, {"za", "Cape Town", -33.92, 18.42}, {"za", "Durban", -29.86, 31.03},
+	{"ke", "Nairobi", -1.29, 36.82}, {"ng", "Lagos", 6.52, 3.38}, {"gh", "Accra", 5.56, -0.20},
+	{"eg", "Cairo", 30.04, 31.24}, {"ma", "Casablanca", 33.57, -7.59}, {"tn", "Tunis", 36.81, 10.17},
+	{"dz", "Algiers", 36.75, 3.06}, {"sn", "Dakar", 14.72, -17.47}, {"tz", "Dar es Salaam", -6.79, 39.21},
+	{"ug", "Kampala", 0.35, 32.58}, {"zw", "Harare", -17.83, 31.05}, {"mu", "Port Louis", -20.16, 57.50},
+	{"ae", "Dubai", 25.20, 55.27}, {"sa", "Riyadh", 24.71, 46.68}, {"il", "Tel Aviv", 32.07, 34.79},
+	{"jo", "Amman", 31.95, 35.93}, {"lb", "Beirut", 33.89, 35.50}, {"kw", "Kuwait City", 29.38, 47.99},
+	{"qa", "Doha", 25.29, 51.53}, {"bh", "Manama", 26.23, 50.59}, {"om", "Muscat", 23.59, 58.41},
+	{"cy", "Nicosia", 35.17, 33.37},
+
+	// Oceania & maritime Southeast Asia.
+	{"au", "Sydney", -33.87, 151.21}, {"au", "Melbourne", -37.81, 144.96}, {"au", "Brisbane", -27.47, 153.03},
+	{"au", "Perth", -31.95, 115.86}, {"au", "Adelaide", -34.93, 138.60},
+	{"nz", "Auckland", -36.85, 174.76}, {"nz", "Wellington", -41.29, 174.78},
+	{"sg", "Singapore", 1.35, 103.82}, {"my", "Kuala Lumpur", 3.14, 101.69},
+	{"id", "Jakarta", -6.21, 106.85}, {"id", "Surabaya", -7.25, 112.75},
+	{"ph", "Manila", 14.60, 120.98}, {"ph", "Cebu", 10.32, 123.89},
+	{"fj", "Suva", -18.14, 178.44}, {"nc", "Nouméa", -22.27, 166.44}, {"pg", "Port Moresby", -9.44, 147.18},
+	{"gu", "Hagåtña", 13.44, 144.79}, {"mv", "Malé", 4.18, 73.51},
+}
+
+// continentAnchorWeights reproduces the paper's Figure 3 skew: the share
+// of anchors per continent group.
+var continentAnchorWeights = map[string]float64{
+	"Europe":          0.55,
+	"North America":   0.20,
+	"Asia":            0.10,
+	"South America":   0.05,
+	"Africa":          0.05,
+	"Oceania":         0.04,
+	"Central America": 0.005,
+	"Australia":       0.025,
+}

@@ -1,0 +1,268 @@
+// Package atlasd implements the measurement coordination server the
+// paper describes in §4.1:
+//
+//	"We maintain a server that retrieves the list of anchors and probes
+//	 from RIPE's database every day, selects the probes to be used as
+//	 landmarks, and updates a delay-distance model for each landmark,
+//	 based on the most recent two weeks of ping measurements … Our
+//	 measurement tools retrieve the set of landmarks to use for each
+//	 phase from this server, and report their measurements back to it."
+//
+// The server speaks JSON over HTTP (net/http only):
+//
+//	GET  /v1/landmarks/phase1                 three anchors per continent
+//	GET  /v1/landmarks/phase2?continent=X&n=25  random same-continent landmarks
+//	GET  /v1/model/{landmark-id}              the landmark's bestline model
+//	POST /v1/report                           upload a measurement batch
+//	GET  /v1/healthz                          liveness
+//
+// Landmarks are served with IPv4 addresses only, as the paper's server
+// does ("the commercial proxy servers we are studying offer only IPv4
+// connectivity").
+package atlasd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/cbg"
+	"activegeo/internal/netsim"
+	"activegeo/internal/worldmap"
+)
+
+// LandmarkInfo is the wire representation of one landmark.
+type LandmarkInfo struct {
+	ID        string  `json:"id"`
+	Addr      string  `json:"addr"` // IPv4 only
+	Lat       float64 `json:"lat"`
+	Lon       float64 `json:"lon"`
+	Continent string  `json:"continent"`
+	Anchor    bool    `json:"anchor"`
+}
+
+// ModelInfo is the wire representation of a landmark's delay-distance
+// model (the CBG/CBG++ bestline).
+type ModelInfo struct {
+	LandmarkID   string  `json:"landmark_id"`
+	SlopeMsPerKm float64 `json:"slope_ms_per_km"`
+	InterceptMs  float64 `json:"intercept_ms"`
+	Pooled       bool    `json:"pooled"` // true when the pooled fallback was served
+}
+
+// Report is a measurement batch uploaded by a tool.
+type Report struct {
+	Client  string         `json:"client"`
+	Target  string         `json:"target,omitempty"`
+	Samples []ReportSample `json:"samples"`
+}
+
+// ReportSample is one uploaded measurement.
+type ReportSample struct {
+	LandmarkID string  `json:"landmark_id"`
+	RTTms      float64 `json:"rtt_ms"`
+}
+
+// Server coordinates measurements for one constellation.
+type Server struct {
+	cons *atlas.Constellation
+	cal  *cbg.Calibration
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	reports []Report
+}
+
+// NewServer builds a coordination server. The rng drives phase-two
+// landmark selection (randomized to spread measurement load, §4.1).
+func NewServer(cons *atlas.Constellation, cal *cbg.Calibration, seed int64) *Server {
+	return &Server{cons: cons, cal: cal, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/landmarks/phase1", s.handlePhase1)
+	mux.HandleFunc("/v1/landmarks/phase2", s.handlePhase2)
+	mux.HandleFunc("/v1/model/", s.handleModel)
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// Reports returns a copy of every uploaded report.
+func (s *Server) Reports() []Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Report(nil), s.reports...)
+}
+
+func (s *Server) handlePhase1(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	perCont := 3
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 50 {
+			httpError(w, http.StatusBadRequest, "bad n")
+			return
+		}
+		perCont = n
+	}
+	byCont := s.cons.ByContinent()
+	var out []LandmarkInfo
+	s.mu.Lock()
+	for _, cont := range worldmap.AllContinents() {
+		var anchors []*atlas.Landmark
+		for _, lm := range byCont[cont] {
+			if lm.IsAnchor {
+				anchors = append(anchors, lm)
+			}
+		}
+		if len(anchors) == 0 {
+			continue
+		}
+		perm := s.rng.Perm(len(anchors))
+		for i := 0; i < perCont && i < len(anchors); i++ {
+			out = append(out, toInfo(anchors[perm[i]], cont))
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePhase2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	contName := r.URL.Query().Get("continent")
+	cont, ok := continentByName(contName)
+	if !ok {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown continent %q", contName))
+		return
+	}
+	n := 25
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 || parsed > 500 {
+			httpError(w, http.StatusBadRequest, "bad n")
+			return
+		}
+		n = parsed
+	}
+	pool := s.cons.ByContinent()[cont]
+	if len(pool) == 0 {
+		httpError(w, http.StatusNotFound, "no landmarks on that continent")
+		return
+	}
+	var out []LandmarkInfo
+	s.mu.Lock()
+	perm := s.rng.Perm(len(pool))
+	for i := 0; i < n && i < len(pool); i++ {
+		out = append(out, toInfo(pool[perm[i]], cont))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/model/")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "missing landmark id")
+		return
+	}
+	lm := s.cons.Landmark(netsim.HostID(id))
+	if lm == nil {
+		httpError(w, http.StatusNotFound, "unknown landmark")
+		return
+	}
+	line := s.cal.Line(lm.Host.ID)
+	writeJSON(w, http.StatusOK, ModelInfo{
+		LandmarkID:   id,
+		SlopeMsPerKm: line.Slope,
+		InterceptMs:  line.Intercept,
+		Pooled:       line == s.cal.Pooled() && !lm.IsAnchor,
+	})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var rep Report
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&rep); err != nil {
+		httpError(w, http.StatusBadRequest, "bad report: "+err.Error())
+		return
+	}
+	if rep.Client == "" || len(rep.Samples) == 0 {
+		httpError(w, http.StatusBadRequest, "report needs a client and samples")
+		return
+	}
+	for _, smp := range rep.Samples {
+		if smp.RTTms <= 0 {
+			httpError(w, http.StatusBadRequest, "non-positive RTT")
+			return
+		}
+		if s.cons.Landmark(netsim.HostID(smp.LandmarkID)) == nil {
+			httpError(w, http.StatusBadRequest, "unknown landmark "+smp.LandmarkID)
+			return
+		}
+	}
+	s.mu.Lock()
+	s.reports = append(s.reports, rep)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(rep.Samples)})
+}
+
+func toInfo(lm *atlas.Landmark, cont worldmap.Continent) LandmarkInfo {
+	return LandmarkInfo{
+		ID:        string(lm.Host.ID),
+		Addr:      lm.Host.Addr,
+		Lat:       lm.Host.Loc.Lat,
+		Lon:       lm.Host.Loc.Lon,
+		Continent: cont.String(),
+		Anchor:    lm.IsAnchor,
+	}
+}
+
+func continentByName(name string) (worldmap.Continent, bool) {
+	for _, c := range worldmap.AllContinents() {
+		if strings.EqualFold(c.String(), name) {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("atlasd: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// ErrServer is returned by the client for non-2xx responses.
+var ErrServer = errors.New("atlasd: server error")

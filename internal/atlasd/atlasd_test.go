@@ -1,0 +1,330 @@
+package atlasd
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/cbg"
+	"activegeo/internal/geo"
+	"activegeo/internal/measure"
+	"activegeo/internal/netsim"
+)
+
+var (
+	fixOnce sync.Once
+	fixSrv  *Server
+	fixCons *atlas.Constellation
+)
+
+func testServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	fixOnce.Do(func() {
+		net := netsim.New(31)
+		rng := rand.New(rand.NewSource(31))
+		cons, err := atlas.Build(net, atlas.Config{Anchors: 50, Probes: 40, SamplesPerPair: 3}, rng)
+		if err != nil {
+			panic(err)
+		}
+		cal, err := cbg.Calibrate(cons, cbg.Options{Slowline: true})
+		if err != nil {
+			panic(err)
+		}
+		fixCons = cons
+		fixSrv = NewServer(cons, cal, 31)
+	})
+	ts := httptest.NewServer(fixSrv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, fixSrv
+}
+
+func client(ts *httptest.Server) *Client {
+	return &Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := testServer(t)
+	if !client(ts).Healthy(context.Background()) {
+		t.Error("server not healthy")
+	}
+}
+
+func TestPhase1Landmarks(t *testing.T) {
+	ts, _ := testServer(t)
+	lms, err := client(ts).Phase1Landmarks(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lms) == 0 {
+		t.Fatal("no landmarks")
+	}
+	perCont := map[string]int{}
+	for _, lm := range lms {
+		if !lm.Anchor {
+			t.Errorf("phase 1 must serve anchors only, got probe %s", lm.ID)
+		}
+		if lm.Addr == "" || strings.Contains(lm.Addr, ":") {
+			t.Errorf("landmark %s addr %q not a bare IPv4", lm.ID, lm.Addr)
+		}
+		perCont[lm.Continent]++
+	}
+	for cont, n := range perCont {
+		if n > 3 {
+			t.Errorf("continent %s served %d anchors, max 3", cont, n)
+		}
+	}
+	if len(perCont) < 4 {
+		t.Errorf("only %d continents served", len(perCont))
+	}
+}
+
+func TestPhase2Landmarks(t *testing.T) {
+	ts, _ := testServer(t)
+	c := client(ts)
+	lms, err := c.Phase2Landmarks(context.Background(), "Europe", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lms) == 0 || len(lms) > 10 {
+		t.Fatalf("landmarks = %d", len(lms))
+	}
+	for _, lm := range lms {
+		if lm.Continent != "Europe" {
+			t.Errorf("landmark %s on %s", lm.ID, lm.Continent)
+		}
+	}
+	// Random selection: two draws should (almost surely) differ.
+	again, err := c.Phase2Landmarks(context.Background(), "Europe", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range lms {
+		if i >= len(again) || lms[i].ID != again[i].ID {
+			same = false
+			break
+		}
+	}
+	if same && len(lms) >= 5 {
+		t.Error("two phase-2 draws identical; selection not randomized")
+	}
+}
+
+func TestPhase2Errors(t *testing.T) {
+	ts, _ := testServer(t)
+	c := client(ts)
+	if _, err := c.Phase2Landmarks(context.Background(), "Atlantis", 10); err == nil {
+		t.Error("unknown continent should fail")
+	}
+	resp, err := http.Get(ts.URL + "/v1/landmarks/phase2?continent=Europe&n=99999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("huge n: status %d", resp.StatusCode)
+	}
+}
+
+func TestModelEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	c := client(ts)
+	anchor := fixCons.Anchors()[0]
+	m, err := c.Model(context.Background(), string(anchor.Host.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SlopeMsPerKm < 1.0/200-1e-12 {
+		t.Errorf("served slope %f faster than baseline", m.SlopeMsPerKm)
+	}
+	if m.Pooled {
+		t.Error("anchor model should not be pooled")
+	}
+	// Probe: falls back to pooled.
+	probe := fixCons.Probes()[0]
+	pm, err := c.Model(context.Background(), string(probe.Host.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pm.Pooled {
+		t.Error("probe model should be flagged pooled")
+	}
+	// Unknown landmark → 404.
+	if _, err := c.Model(context.Background(), "nonexistent"); err == nil {
+		t.Error("unknown landmark should fail")
+	}
+}
+
+func TestReportUploadAndValidation(t *testing.T) {
+	ts, srv := testServer(t)
+	c := client(ts)
+	anchor := fixCons.Anchors()[1]
+	rep := Report{
+		Client: "test-client",
+		Target: "vpn-X-0001",
+		Samples: []ReportSample{
+			{LandmarkID: string(anchor.Host.ID), RTTms: 42.5},
+		},
+	}
+	if err := c.Upload(context.Background(), rep); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range srv.Reports() {
+		if r.Client == "test-client" && len(r.Samples) == 1 && r.Samples[0].RTTms == 42.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("uploaded report not stored")
+	}
+
+	// Validation failures.
+	bad := []Report{
+		{Client: "", Samples: rep.Samples}, // no client
+		{Client: "x"},                      // no samples
+		{Client: "x", Samples: []ReportSample{{LandmarkID: string(anchor.Host.ID), RTTms: -1}}}, // bad RTT
+		{Client: "x", Samples: []ReportSample{{LandmarkID: "bogus", RTTms: 5}}},                 // unknown landmark
+	}
+	for i, r := range bad {
+		if err := c.Upload(context.Background(), r); err == nil {
+			t.Errorf("bad report %d accepted", i)
+		}
+	}
+}
+
+func TestMethodEnforcement(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/landmarks/phase1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST to phase1: %d", resp.StatusCode)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET to report: %d", resp2.StatusCode)
+	}
+}
+
+func TestReportBodyLimit(t *testing.T) {
+	ts, _ := testServer(t)
+	huge := strings.NewReader(`{"client":"x","samples":[` + strings.Repeat(`{"landmark_id":"a","rtt_ms":1},`, 100000) + `]}`)
+	resp, err := http.Post(ts.URL+"/v1/report", "application/json", huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 == 2 {
+		t.Error("oversized report accepted")
+	}
+}
+
+func TestEndToEndTwoPhaseOverHTTP(t *testing.T) {
+	// A client walks the full §4.1 protocol over the wire: phase 1 →
+	// deduce continent → phase 2 → fetch a model → upload results.
+	ts, srv := testServer(t)
+	c := client(ts)
+	ctx := context.Background()
+
+	p1, err := c.Phase1Landmarks(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pretend the lowest simulated RTT came from a European anchor.
+	continent := "Europe"
+	p2, err := c.Phase2Landmarks(ctx, continent, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []ReportSample
+	for _, lm := range p2 {
+		m, err := c.Model(ctx, lm.ID)
+		if err != nil {
+			t.Fatalf("model for %s: %v", lm.ID, err)
+		}
+		_ = m
+		samples = append(samples, ReportSample{LandmarkID: lm.ID, RTTms: 30})
+	}
+	if err := c.Upload(ctx, Report{Client: "e2e", Samples: samples}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(srv.Reports()); n == 0 {
+		t.Error("no reports stored")
+	}
+	_ = p1
+}
+
+func TestRemoteTwoPhase(t *testing.T) {
+	ts, srv := testServer(t)
+	c := client(ts)
+	ctx := context.Background()
+
+	// A target in Berlin measured via HTTP-served landmarks.
+	net := fixCons.Net()
+	from := netsim.HostID("remote-tp-berlin")
+	if net.Host(from) == nil {
+		if err := net.AddHost(&netsim.Host{ID: from, Loc: geoPoint(52.52, 13.405)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tool := &measure.CLITool{Net: net}
+	res, err := RemoteTwoPhase(ctx, c, tool, from, 10, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Continent.String() != "Europe" {
+		t.Errorf("continent = %v", res.Continent)
+	}
+	if len(res.Phase2) == 0 {
+		t.Error("no phase-2 samples")
+	}
+	if len(res.Phase2) > 10 {
+		t.Errorf("phase 2 oversubscribed: %d", len(res.Phase2))
+	}
+	// The report landed on the server.
+	found := false
+	for _, r := range srv.Reports() {
+		if r.Client == string(from) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("remote run did not upload its report")
+	}
+	// The measurements are usable by algorithms.
+	ms := res.Measurements()
+	for _, m := range ms {
+		if !m.Landmark.Valid() || m.RTTms <= 0 {
+			t.Fatalf("bad measurement %+v", m)
+		}
+	}
+}
+
+func TestJSONShapes(t *testing.T) {
+	// The wire format is part of the API; lock the field names.
+	b, _ := json.Marshal(LandmarkInfo{ID: "a", Addr: "192.0.2.1", Lat: 1, Lon: 2, Continent: "Europe", Anchor: true})
+	for _, key := range []string{`"id"`, `"addr"`, `"lat"`, `"lon"`, `"continent"`, `"anchor"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("LandmarkInfo JSON missing %s: %s", key, b)
+		}
+	}
+	b, _ = json.Marshal(ModelInfo{LandmarkID: "a"})
+	if !strings.Contains(string(b), `"slope_ms_per_km"`) {
+		t.Errorf("ModelInfo JSON: %s", b)
+	}
+}
+
+func geoPoint(lat, lon float64) geo.Point { return geo.Point{Lat: lat, Lon: lon} }

@@ -1,0 +1,110 @@
+package atlasd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Client talks to a coordination server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10-second timeout.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (c *Client) get(ctx context.Context, path string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%w: %s on %s: %s", ErrServer, resp.Status, path, readErr(resp.Body))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func readErr(r io.Reader) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r, 4096)).Decode(&e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	return "unknown error"
+}
+
+// Phase1Landmarks fetches the widely dispersed phase-one anchor set.
+func (c *Client) Phase1Landmarks(ctx context.Context) ([]LandmarkInfo, error) {
+	var out []LandmarkInfo
+	if err := c.get(ctx, "/v1/landmarks/phase1", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Phase2Landmarks fetches n random landmarks on a continent.
+func (c *Client) Phase2Landmarks(ctx context.Context, continent string, n int) ([]LandmarkInfo, error) {
+	var out []LandmarkInfo
+	path := fmt.Sprintf("/v1/landmarks/phase2?continent=%s&n=%d", url.QueryEscape(continent), n)
+	if err := c.get(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Model fetches a landmark's delay-distance model.
+func (c *Client) Model(ctx context.Context, landmarkID string) (*ModelInfo, error) {
+	var out ModelInfo
+	if err := c.get(ctx, "/v1/model/"+url.PathEscape(landmarkID), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Upload reports a measurement batch back to the server.
+func (c *Client) Upload(ctx context.Context, rep Report) error {
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/report", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%w: %s: %s", ErrServer, resp.Status, readErr(resp.Body))
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	return nil
+}
+
+// Healthy reports whether the server answers its liveness probe.
+func (c *Client) Healthy(ctx context.Context) bool {
+	var out map[string]string
+	return c.get(ctx, "/v1/healthz", &out) == nil && out["status"] == "ok"
+}

@@ -1,0 +1,96 @@
+package atlasd
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/geo"
+	"activegeo/internal/measure"
+	"activegeo/internal/netsim"
+	"activegeo/internal/worldmap"
+)
+
+// RemoteTwoPhase runs the §4.1 two-phase procedure the way the paper's
+// tools actually ran it: landmark sets come from the coordination server
+// over HTTP, measurements are taken locally with the given tool, and the
+// results are reported back.
+//
+// The landmark resolver maps a served LandmarkInfo to the measurement
+// target; in the simulated world that is a netsim host ID, on a real
+// network it would be the addr. Measurement failures skip the landmark,
+// like the real tool.
+func RemoteTwoPhase(ctx context.Context, c *Client, tool measure.Tool, from netsim.HostID, secondPhase int, rng *rand.Rand) (*measure.Result, error) {
+	if secondPhase < 1 {
+		secondPhase = 25
+	}
+	p1, err := c.Phase1Landmarks(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("atlasd: phase 1 landmarks: %w", err)
+	}
+	res := &measure.Result{}
+	bestRTT := -1.0
+	bestCont := ""
+	for _, info := range p1 {
+		s, err := measureInfo(tool, from, info, rng)
+		if err != nil {
+			continue
+		}
+		res.Phase1 = append(res.Phase1, s)
+		if bestRTT < 0 || s.RTTms < bestRTT {
+			bestRTT, bestCont = s.RTTms, info.Continent
+		}
+	}
+	if len(res.Phase1) == 0 {
+		return nil, measure.ErrNoLandmarks
+	}
+	res.Continent = continentValue(bestCont)
+
+	p2, err := c.Phase2Landmarks(ctx, bestCont, secondPhase)
+	if err != nil {
+		return nil, fmt.Errorf("atlasd: phase 2 landmarks: %w", err)
+	}
+	for _, info := range p2 {
+		s, err := measureInfo(tool, from, info, rng)
+		if err != nil {
+			continue
+		}
+		res.Phase2 = append(res.Phase2, s)
+	}
+
+	// Report everything back, as the real tools do.
+	rep := Report{Client: string(from)}
+	for _, s := range res.Samples() {
+		rep.Samples = append(rep.Samples, ReportSample{LandmarkID: string(s.LandmarkID), RTTms: s.RTTms})
+	}
+	if len(rep.Samples) > 0 {
+		if err := c.Upload(ctx, rep); err != nil {
+			return nil, fmt.Errorf("atlasd: uploading report: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// measureInfo adapts a served landmark description back into the shape
+// the Tool interface consumes.
+func measureInfo(tool measure.Tool, from netsim.HostID, info LandmarkInfo, rng *rand.Rand) (measure.Sample, error) {
+	lm := &atlas.Landmark{
+		Host: &netsim.Host{
+			ID:   netsim.HostID(info.ID),
+			Addr: info.Addr,
+			Loc:  geo.Point{Lat: info.Lat, Lon: info.Lon},
+		},
+		IsAnchor: info.Anchor,
+	}
+	return tool.Measure(from, lm, rng)
+}
+
+func continentValue(name string) worldmap.Continent {
+	for _, c := range worldmap.AllContinents() {
+		if c.String() == name {
+			return c
+		}
+	}
+	return worldmap.Europe
+}

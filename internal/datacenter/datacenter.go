@@ -1,0 +1,137 @@
+// Package datacenter is the library's substitute for the University of
+// Wisconsin "Internet Atlas" data-center list the paper uses for
+// disambiguation (§6, Figure 15): a catalog of commercial hosting
+// locations, plus the metadata cross-checks (shared AS and /24 prefix,
+// Figure 16) that let uncertain predictions be resolved.
+package datacenter
+
+import (
+	"sort"
+
+	"activegeo/internal/geo"
+	"activegeo/internal/grid"
+)
+
+// DC is one known data-center location.
+type DC struct {
+	ID      string
+	City    string
+	Country string // ISO code
+	Loc     geo.Point
+}
+
+// list is the catalog. It mirrors where commercial hosting is actually
+// plentiful — the same skew the paper observes in Figure 17: the top
+// hosting countries absorb most of the real servers.
+var list = []DC{
+	{"dc-iad", "Ashburn", "us", geo.Point{Lat: 39.04, Lon: -77.49}},
+	{"dc-nyc", "New York", "us", geo.Point{Lat: 40.71, Lon: -74.01}},
+	{"dc-chi", "Chicago", "us", geo.Point{Lat: 41.88, Lon: -87.63}},
+	{"dc-dal", "Dallas", "us", geo.Point{Lat: 32.78, Lon: -96.80}},
+	{"dc-lax", "Los Angeles", "us", geo.Point{Lat: 34.05, Lon: -118.24}},
+	{"dc-sjc", "San Jose", "us", geo.Point{Lat: 37.34, Lon: -121.89}},
+	{"dc-sea", "Seattle", "us", geo.Point{Lat: 47.61, Lon: -122.33}},
+	{"dc-mia", "Miami", "us", geo.Point{Lat: 25.76, Lon: -80.19}},
+	{"dc-yyz", "Toronto", "ca", geo.Point{Lat: 43.65, Lon: -79.38}},
+	{"dc-yvr", "Vancouver", "ca", geo.Point{Lat: 49.28, Lon: -123.12}},
+	{"dc-fra", "Frankfurt", "de", geo.Point{Lat: 50.11, Lon: 8.68}},
+	{"dc-ber", "Berlin", "de", geo.Point{Lat: 52.52, Lon: 13.41}},
+	{"dc-ams", "Amsterdam", "nl", geo.Point{Lat: 52.37, Lon: 4.89}},
+	{"dc-lon", "London", "gb", geo.Point{Lat: 51.51, Lon: -0.13}},
+	{"dc-man", "Manchester", "gb", geo.Point{Lat: 53.48, Lon: -2.24}},
+	{"dc-par", "Paris", "fr", geo.Point{Lat: 48.86, Lon: 2.35}},
+	{"dc-rbx", "Roubaix", "fr", geo.Point{Lat: 50.69, Lon: 3.17}},
+	{"dc-prg", "Prague", "cz", geo.Point{Lat: 50.08, Lon: 14.44}},
+	{"dc-waw", "Warsaw", "pl", geo.Point{Lat: 52.23, Lon: 21.01}},
+	{"dc-sto", "Stockholm", "se", geo.Point{Lat: 59.33, Lon: 18.07}},
+	{"dc-zrh", "Zurich", "ch", geo.Point{Lat: 47.38, Lon: 8.54}},
+	{"dc-mil", "Milan", "it", geo.Point{Lat: 45.46, Lon: 9.19}},
+	{"dc-mad", "Madrid", "es", geo.Point{Lat: 40.42, Lon: -3.70}},
+	{"dc-vie", "Vienna", "at", geo.Point{Lat: 48.21, Lon: 16.37}},
+	{"dc-buh", "Bucharest", "ro", geo.Point{Lat: 44.43, Lon: 26.10}},
+	{"dc-mow", "Moscow", "ru", geo.Point{Lat: 55.76, Lon: 37.62}},
+	{"dc-sin", "Singapore", "sg", geo.Point{Lat: 1.35, Lon: 103.82}},
+	{"dc-hkg", "Hong Kong", "hk", geo.Point{Lat: 22.32, Lon: 114.17}},
+	{"dc-tyo", "Tokyo", "jp", geo.Point{Lat: 35.68, Lon: 139.65}},
+	{"dc-icn", "Seoul", "kr", geo.Point{Lat: 37.57, Lon: 126.98}},
+	{"dc-bom", "Mumbai", "in", geo.Point{Lat: 19.08, Lon: 72.88}},
+	{"dc-syd", "Sydney", "au", geo.Point{Lat: -33.87, Lon: 151.21}},
+	{"dc-akl", "Auckland", "nz", geo.Point{Lat: -36.85, Lon: 174.76}},
+	{"dc-gru", "São Paulo", "br", geo.Point{Lat: -23.55, Lon: -46.63}},
+	{"dc-scl", "Santiago", "cl", geo.Point{Lat: -33.45, Lon: -70.67}},
+	{"dc-jnb", "Johannesburg", "za", geo.Point{Lat: -26.20, Lon: 28.05}},
+	{"dc-dxb", "Dubai", "ae", geo.Point{Lat: 25.20, Lon: 55.27}},
+	{"dc-mex", "Mexico City", "mx", geo.Point{Lat: 19.43, Lon: -99.13}},
+}
+
+// All returns the full catalog, sorted by ID.
+func All() []DC {
+	out := append([]DC(nil), list...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the data center with the given ID.
+func ByID(id string) (DC, bool) {
+	for _, dc := range list {
+		if dc.ID == id {
+			return dc, true
+		}
+	}
+	return DC{}, false
+}
+
+// InCountry returns all data centers in the given country.
+func InCountry(code string) []DC {
+	var out []DC
+	for _, dc := range list {
+		if dc.Country == code {
+			out = append(out, dc)
+		}
+	}
+	return out
+}
+
+// HostingCountries returns the set of countries with at least one data
+// center, sorted — the "easy hosting" list of the paper's Figure 17/18.
+func HostingCountries() []string {
+	seen := map[string]bool{}
+	for _, dc := range list {
+		seen[dc.Country] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InRegion returns the data centers whose location falls inside the
+// region — the Figure 15 disambiguation primitive: if a prediction
+// region covers two countries but contains data centers in only one of
+// them, the server is in that one.
+func InRegion(r *grid.Region) []DC {
+	var out []DC
+	for _, dc := range list {
+		if r.ContainsPoint(dc.Loc) {
+			out = append(out, dc)
+		}
+	}
+	return out
+}
+
+// CountriesWithDCInRegion returns the sorted set of countries that have
+// at least one data center inside the region.
+func CountriesWithDCInRegion(r *grid.Region) []string {
+	seen := map[string]bool{}
+	for _, dc := range InRegion(r) {
+		seen[dc.Country] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,122 @@
+package datacenter
+
+import (
+	"strings"
+	"testing"
+
+	"activegeo/internal/geo"
+	"activegeo/internal/grid"
+)
+
+func TestAllSortedAndWellFormed(t *testing.T) {
+	dcs := All()
+	if len(dcs) < 30 {
+		t.Fatalf("catalog has %d DCs", len(dcs))
+	}
+	seen := map[string]bool{}
+	for i, dc := range dcs {
+		if i > 0 && dcs[i-1].ID >= dc.ID {
+			t.Fatal("not sorted by ID")
+		}
+		if seen[dc.ID] {
+			t.Fatalf("duplicate ID %s", dc.ID)
+		}
+		seen[dc.ID] = true
+		if !dc.Loc.Valid() {
+			t.Errorf("%s has invalid location", dc.ID)
+		}
+		if dc.Country == "" || dc.City == "" {
+			t.Errorf("%s missing metadata", dc.ID)
+		}
+		if !strings.HasPrefix(dc.ID, "dc-") {
+			t.Errorf("%s lacks the dc- prefix", dc.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	dc, ok := ByID("dc-fra")
+	if !ok || dc.City != "Frankfurt" || dc.Country != "de" {
+		t.Errorf("ByID(dc-fra) = %+v, %v", dc, ok)
+	}
+	if _, ok := ByID("dc-nowhere"); ok {
+		t.Error("unknown ID should miss")
+	}
+}
+
+func TestInCountry(t *testing.T) {
+	us := InCountry("us")
+	if len(us) < 5 {
+		t.Errorf("US has %d DCs, the hosting hub should have many", len(us))
+	}
+	for _, dc := range us {
+		if dc.Country != "us" {
+			t.Errorf("%s not in the US", dc.ID)
+		}
+	}
+	if InCountry("kp") != nil {
+		t.Error("North Korea should have no data centers")
+	}
+}
+
+func TestHostingCountries(t *testing.T) {
+	hosting := HostingCountries()
+	if len(hosting) < 15 {
+		t.Errorf("only %d hosting countries", len(hosting))
+	}
+	for i := 1; i < len(hosting); i++ {
+		if hosting[i-1] >= hosting[i] {
+			t.Fatal("not sorted")
+		}
+	}
+	want := map[string]bool{"us": true, "de": true, "nl": true, "gb": true, "cz": true}
+	found := 0
+	for _, c := range hosting {
+		if want[c] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Errorf("missing major hosting countries: %v", hosting)
+	}
+}
+
+func TestInRegionDisambiguation(t *testing.T) {
+	g := grid.New(1.5)
+	// The Figure 15 shape: a region around Santiago covers Chilean DCs
+	// but no Argentine ones.
+	santiago := geo.Point{Lat: -33.45, Lon: -70.67}
+	r := g.CapRegion(geo.Cap{Center: santiago, RadiusKm: 400})
+	dcs := InRegion(r)
+	if len(dcs) == 0 {
+		t.Fatal("no DCs in the Santiago region")
+	}
+	for _, dc := range dcs {
+		if dc.Country != "cl" {
+			t.Errorf("unexpected %s DC in the region", dc.Country)
+		}
+	}
+	countries := CountriesWithDCInRegion(r)
+	if len(countries) != 1 || countries[0] != "cl" {
+		t.Errorf("countries = %v, want [cl]", countries)
+	}
+	// An empty region has no DCs.
+	if got := CountriesWithDCInRegion(g.NewRegion()); len(got) != 0 {
+		t.Errorf("empty region has DCs: %v", got)
+	}
+	// A transatlantic region has DCs on both sides.
+	big := g.CapRegion(geo.Cap{Center: geo.Point{Lat: 45, Lon: -30}, RadiusKm: 4500})
+	both := CountriesWithDCInRegion(big)
+	hasUS, hasEU := false, false
+	for _, c := range both {
+		if c == "us" || c == "ca" {
+			hasUS = true
+		}
+		if c == "gb" || c == "fr" || c == "de" || c == "nl" {
+			hasEU = true
+		}
+	}
+	if !hasUS || !hasEU {
+		t.Errorf("transatlantic region DC countries = %v", both)
+	}
+}

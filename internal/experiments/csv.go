@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"activegeo/internal/worldmap"
+)
+
+// CSV writers: every figure with a data series can emit it as CSV, so
+// the rows the paper plots can be regenerated with any plotting tool.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// WriteCSV emits the Figure 9 comparison rows.
+func WriteFig9CSV(w io.Writer, rows []Fig9Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Algorithm, strconv.Itoa(r.Hosts), f(r.Coverage),
+			f(r.MissMedian), f(r.MissP90), f(r.MissP97),
+			f(r.CentroidMedian), f(r.AreaMedianFrac),
+		})
+	}
+	return writeCSV(w, []string{
+		"algorithm", "hosts", "coverage",
+		"miss_p50_km", "miss_p90_km", "miss_p97_km",
+		"centroid_p50_km", "area_p50_land_frac",
+	}, out)
+}
+
+// WriteFig9HostsCSV emits the per-host records behind the three Figure 9
+// CDF panels, one row per host×algorithm.
+func WriteFig9HostsCSV(w io.Writer, records []Fig9HostRecord) error {
+	out := make([][]string, 0, len(records))
+	for _, r := range records {
+		out = append(out, []string{
+			r.Algorithm, r.Host, f(r.MissKm), f(r.CentroidKm), f(r.AreaLandFrac),
+			strconv.FormatBool(r.Empty),
+		})
+	}
+	return writeCSV(w, []string{"algorithm", "host", "miss_km", "centroid_km", "area_land_frac", "empty"}, out)
+}
+
+// WriteFig5CSV emits the Windows browser noise rows.
+func WriteFig5CSV(w io.Writer, rows []Fig5Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Browser, f(r.SlopeRatio), strconv.Itoa(r.HighOutliers),
+			strconv.Itoa(r.Samples), f(r.MeanOutlierMs),
+		})
+	}
+	return writeCSV(w, []string{"browser", "slope_ratio", "high_outliers", "samples", "mean_outlier_ms"}, out)
+}
+
+// WriteFig11CSV emits the landmark-effectiveness bins.
+func WriteFig11CSV(w io.Writer, r *Fig11Result) error {
+	out := make([][]string, 0, len(r.Bins))
+	for _, b := range r.Bins {
+		out = append(out, []string{
+			f(b.MaxDistKm), strconv.Itoa(b.Effective), strconv.Itoa(b.Ineffective), f(b.MeanReduction),
+		})
+	}
+	return writeCSV(w, []string{"max_dist_km", "effective", "ineffective", "mean_reduction_km2"}, out)
+}
+
+// WriteFig17CSV emits the per-country claimed/probable counts.
+func WriteFig17CSV(w io.Writer, r *Fig17Result) error {
+	probable := map[string]int{}
+	for _, b := range r.TopProbable {
+		probable[b.Country] = b.Count
+	}
+	out := make([][]string, 0, len(r.TopClaimed))
+	for _, b := range r.TopClaimed {
+		out = append(out, []string{b.Country, strconv.Itoa(b.Count), strconv.Itoa(probable[b.Country])})
+	}
+	return writeCSV(w, []string{"country", "claimed", "probable"}, out)
+}
+
+// WriteFig18CSV emits the provider×country honesty cells.
+func WriteFig18CSV(w io.Writer, r *Fig18Result) error {
+	out := make([][]string, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		out = append(out, []string{
+			c.Provider, c.Country, strconv.Itoa(c.Claimed),
+			strconv.Itoa(c.Backed), strconv.Itoa(c.Credible), f(c.Honesty()),
+		})
+	}
+	return writeCSV(w, []string{"provider", "country", "claimed", "backed", "credible", "honesty"}, out)
+}
+
+// WriteFig21CSV emits the method-agreement matrix.
+func WriteFig21CSV(w io.Writer, rows []Fig21Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	dbNames := make([]string, 0, len(rows[0].Databases))
+	for name := range rows[0].Databases {
+		dbNames = append(dbNames, name)
+	}
+	sort.Strings(dbNames)
+	header := []string{"provider", "cbgpp_generous", "cbgpp_strict", "iclab"}
+	header = append(header, dbNames...)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		row := []string{r.Provider, f(r.CBGppGenerous), f(r.CBGppStrict), f(r.ICLab)}
+		for _, name := range dbNames {
+			row = append(row, f(r.Databases[name]))
+		}
+		out = append(out, row)
+	}
+	return writeCSV(w, header, out)
+}
+
+// WriteFig22CSV emits the continent confusion matrix in long form.
+func WriteFig22CSV(w io.Writer, r *ConfusionResult) error {
+	conts := worldmap.AllContinents()
+	var out [][]string
+	for _, a := range conts {
+		for _, b := range conts {
+			n := r.Continents[[2]string{a.String(), b.String()}]
+			if n == 0 {
+				continue
+			}
+			out = append(out, []string{a.String(), b.String(), strconv.Itoa(n)})
+		}
+	}
+	return writeCSV(w, []string{"continent_a", "continent_b", "count"}, out)
+}
+
+// WriteFig23CSV emits the country confusion matrix in long form.
+func WriteFig23CSV(w io.Writer, r *ConfusionResult) error {
+	type pair struct {
+		a, b string
+		n    int
+	}
+	var pairs []pair
+	for k, n := range r.Countries {
+		if k[0] <= k[1] {
+			pairs = append(pairs, pair{k[0], k[1], n})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].n != pairs[j].n {
+			return pairs[i].n > pairs[j].n
+		}
+		return pairs[i].a+pairs[i].b < pairs[j].a+pairs[j].b
+	})
+	out := make([][]string, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, []string{p.a, p.b, strconv.Itoa(p.n)})
+	}
+	return writeCSV(w, []string{"country_a", "country_b", "count"}, out)
+}
+
+// CSVName maps a figure ID to its export file name.
+func CSVName(fig string) string {
+	return fmt.Sprintf("%s.csv", fig)
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, b *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(b).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteFig9CSV(t *testing.T) {
+	rows := []Fig9Row{
+		{Algorithm: "CBG", Hosts: 60, Coverage: 0.9, MissMedian: 0, MissP90: 100, MissP97: 200, CentroidMedian: 800, AreaMedianFrac: 0.06},
+		{Algorithm: "Spotter", Hosts: 60, Coverage: 0.1, MissMedian: 3000, MissP90: 7000, MissP97: 9000, CentroidMedian: 3500, AreaMedianFrac: 0.002},
+	}
+	var b bytes.Buffer
+	if err := WriteFig9CSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	parsed := parseCSV(t, &b)
+	if len(parsed) != 3 {
+		t.Fatalf("rows = %d", len(parsed))
+	}
+	if parsed[0][0] != "algorithm" || parsed[1][0] != "CBG" || parsed[2][0] != "Spotter" {
+		t.Errorf("parsed %v", parsed)
+	}
+	if parsed[1][2] != "0.9" {
+		t.Errorf("coverage cell %q", parsed[1][2])
+	}
+}
+
+func TestWriteFig5And11CSV(t *testing.T) {
+	var b bytes.Buffer
+	err := WriteFig5CSV(&b, []Fig5Row{{Browser: "Edge", SlopeRatio: 2.1, HighOutliers: 9, Samples: 160, MeanOutlierMs: 1500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Edge") {
+		t.Error("Fig5 CSV missing row")
+	}
+	b.Reset()
+	err = WriteFig11CSV(&b, &Fig11Result{Bins: []Fig11Bin{{MaxDistKm: 1000, Effective: 5, Ineffective: 20, MeanReduction: 1e6}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &b)
+	if len(rows) != 2 || rows[1][0] != "1000" {
+		t.Errorf("Fig11 rows %v", rows)
+	}
+}
+
+func TestWriteAuditCSVs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	l := lab(t)
+	f17, err := l.Fig17Assessment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := WriteFig17CSV(&b, f17); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &b)
+	if len(rows) < 5 {
+		t.Fatalf("Fig17 CSV rows = %d", len(rows))
+	}
+
+	f18, err := l.Fig18HonestyByCountry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := WriteFig18CSV(&b, f18); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseCSV(t, &b)) < 10 {
+		t.Error("Fig18 CSV too small")
+	}
+
+	f21, err := l.Fig21Comparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := WriteFig21CSV(&b, f21); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &b)
+	if len(rows) != 8 { // header + 7 providers
+		t.Errorf("Fig21 CSV rows = %d", len(rows))
+	}
+	if len(rows[0]) != 4+5 {
+		t.Errorf("Fig21 CSV columns = %d", len(rows[0]))
+	}
+
+	conf, err := l.Fig22_23Confusion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := WriteFig22CSV(&b, conf); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseCSV(t, &b)) < 3 {
+		t.Error("Fig22 CSV too small")
+	}
+	b.Reset()
+	if err := WriteFig23CSV(&b, conf); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &b)
+	// Long-form pairs sorted descending by count.
+	prev := 1 << 30
+	for _, r := range rows[1:] {
+		n, _ := atoi(r[2])
+		if n > prev {
+			t.Fatal("Fig23 CSV not sorted by count")
+		}
+		prev = n
+	}
+}
+
+func atoi(s string) (int, error) {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+func TestCSVName(t *testing.T) {
+	if CSVName("fig9") != "fig9.csv" {
+		t.Error("CSVName")
+	}
+}

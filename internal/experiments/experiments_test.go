@@ -1,0 +1,495 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"activegeo/internal/assess"
+)
+
+var (
+	labOnce sync.Once
+	labFix  *Lab
+	labErr  error
+)
+
+func lab(t testing.TB) *Lab {
+	t.Helper()
+	labOnce.Do(func() {
+		labFix, labErr = NewLab(QuickConfig())
+	})
+	if labErr != nil {
+		t.Fatal(labErr)
+	}
+	return labFix
+}
+
+func TestFig2Calibration(t *testing.T) {
+	r, err := lab(t).Fig2Calibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bestline speed must be physical: slower than fiber, and (by CBG++
+	// construction the plain CBG bestline is unconstrained below) within
+	// a plausible band.
+	if r.BestlineSpeed > 200.01 || r.BestlineSpeed < 20 {
+		t.Errorf("bestline speed %.1f km/ms implausible", r.BestlineSpeed)
+	}
+	if r.Points < 20 {
+		t.Errorf("too few calibration points: %d", r.Points)
+	}
+	if r.OctMaxKnots < 2 || r.OctMinKnots < 2 {
+		t.Errorf("degenerate octant hulls: %d/%d", r.OctMaxKnots, r.OctMinKnots)
+	}
+	if r.SpotterMu100 <= 0 || r.SpotterSigma100 <= 0 {
+		t.Errorf("bad spotter curves: µ=%f σ=%f", r.SpotterMu100, r.SpotterSigma100)
+	}
+	if !strings.Contains(r.Render(), "bestline") {
+		t.Error("render")
+	}
+}
+
+func TestFig4ToolValidation(t *testing.T) {
+	r, err := lab(t).Fig4ToolValidation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ratio 1.96 on Linux, R² 0.9942.
+	if math.Abs(r.SlopeRatio-2.0) > 0.3 {
+		t.Errorf("slope ratio %.2f, want ≈2 (paper 1.96)", r.SlopeRatio)
+	}
+	if r.R2 < 0.95 {
+		t.Errorf("R² = %.4f, want >0.95 (paper 0.9942)", r.R2)
+	}
+	// CLI measures one trip: its slope should track the one-trip web slope.
+	if math.Abs(r.CLISlope-r.OneTripSlope) > 0.3 {
+		t.Errorf("CLI slope %.3f far from web one-trip slope %.3f", r.CLISlope, r.OneTripSlope)
+	}
+	// §4.3's ANOVA: no significant difference between the tools.
+	if !math.IsNaN(r.ToolP) && r.ToolP < 0.01 {
+		t.Errorf("tool ANOVA p = %.4f — tools significantly different, paper found p = 0.44", r.ToolP)
+	}
+	if r.SlopeCI95 <= 0 {
+		t.Error("missing slope confidence interval")
+	}
+	if !strings.Contains(r.Render(), "Fig 4") {
+		t.Error("render")
+	}
+}
+
+func TestFig5Windows(t *testing.T) {
+	rows, err := lab(t).Fig5Windows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	outliers := 0
+	for _, r := range rows {
+		// Windows ratio is noisier than Linux (paper: 2.29 vs 1.96) but
+		// still identifiable as ≈2.
+		if r.SlopeRatio < 1.4 || r.SlopeRatio > 3.2 {
+			t.Errorf("%s slope ratio %.2f out of band", r.Browser, r.SlopeRatio)
+		}
+		outliers += r.HighOutliers
+	}
+	if outliers == 0 {
+		t.Error("no high outliers on Windows (Fig 6 expects them)")
+	}
+	if !strings.Contains(RenderFig5(rows), "Windows") {
+		t.Error("render")
+	}
+}
+
+func TestFig9AlgorithmComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	rows, err := lab(t).Fig9AlgorithmComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("algorithms = %d", len(rows))
+	}
+	byName := map[string]Fig9Row{}
+	for _, r := range rows {
+		byName[r.Algorithm] = r
+	}
+	cbgRow := byName["CBG"]
+	// Headline shape: CBG covers the most hosts…
+	for name, r := range byName {
+		if name == "CBG" {
+			continue
+		}
+		if r.Coverage > cbgRow.Coverage+0.05 {
+			t.Errorf("%s coverage %.2f exceeds CBG %.2f — inverts the paper's Figure 9A", name, r.Coverage, cbgRow.Coverage)
+		}
+	}
+	if cbgRow.Coverage < 0.7 {
+		t.Errorf("CBG coverage %.2f, paper has 0.90", cbgRow.Coverage)
+	}
+	// …because its regions are the largest (Figure 9C): every other
+	// algorithm's median region must be smaller.
+	for _, name := range []string{"Quasi-Octant", "Spotter", "Hybrid"} {
+		if byName[name].AreaMedianFrac > cbgRow.AreaMedianFrac*1.2 {
+			t.Errorf("%s median area %.3f larger than CBG %.3f — inverts Figure 9C", name, byName[name].AreaMedianFrac, cbgRow.AreaMedianFrac)
+		}
+	}
+	// Hybrid sits between the strict ring algorithms and CBG (its ±5σ
+	// rings are generous), as in the paper where it tracks Quasi-Octant.
+	if h := byName["Hybrid"]; h.Coverage < byName["Spotter"].Coverage {
+		t.Errorf("Hybrid coverage %.2f below Spotter %.2f", h.Coverage, byName["Spotter"].Coverage)
+	}
+	if !strings.Contains(RenderFig9(rows), "Fig 9") {
+		t.Error("render")
+	}
+}
+
+func TestFig10EstimateRatios(t *testing.T) {
+	r, err := lab(t).Fig10EstimateRatios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pairs < 1000 {
+		t.Errorf("pairs = %d", r.Pairs)
+	}
+	// Baseline essentially never underestimates (physics); bestline
+	// rarely does (paper: "a small fraction").
+	if r.BaselineUnderFrac > 0.001 {
+		t.Errorf("baseline underestimates %.4f of pairs — simulator floor broken?", r.BaselineUnderFrac)
+	}
+	if r.BestlineUnderFrac > 0.15 {
+		t.Errorf("bestline underestimates %.3f — far more than 'a small fraction'", r.BestlineUnderFrac)
+	}
+	if r.BestlineMedianRatio < 1.0 {
+		t.Errorf("median bestline ratio %.2f below 1", r.BestlineMedianRatio)
+	}
+	if !strings.Contains(r.Render(), "Fig 10") {
+		t.Error("render")
+	}
+}
+
+func TestFig11LandmarkEffectiveness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	r, err := lab(t).Fig11LandmarkEffectiveness(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nearEff, nearTot, farEff, farTot int
+	for i, bin := range r.Bins {
+		if i < 2 {
+			nearEff += bin.Effective
+			nearTot += bin.Effective + bin.Ineffective
+		} else {
+			farEff += bin.Effective
+			farTot += bin.Effective + bin.Ineffective
+		}
+	}
+	if nearTot == 0 || farTot == 0 {
+		t.Skip("bins too sparse at quick scale")
+	}
+	nearRate := float64(nearEff) / float64(nearTot)
+	farRate := float64(farEff) / float64(farTot)
+	if nearRate <= farRate {
+		t.Errorf("effective rate near %.2f should exceed far %.2f (Fig 11)", nearRate, farRate)
+	}
+	// Paper: no correlation between distance and reduction size.
+	if math.Abs(r.DistanceReductionCorr) > 0.5 {
+		t.Errorf("distance↔reduction correlation %.2f suspiciously strong", r.DistanceReductionCorr)
+	}
+	if !strings.Contains(r.Render(), "Fig 11") {
+		t.Error("render")
+	}
+}
+
+func TestCBGppCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	r, err := lab(t).CBGppCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hosts < 30 {
+		t.Fatalf("hosts = %d", r.Hosts)
+	}
+	if r.CBGppMisses > r.CBGMisses {
+		t.Errorf("CBG++ missed %d > CBG %d — CBG++ must not be worse", r.CBGppMisses, r.CBGMisses)
+	}
+	// §5.1 headline: CBG++ eliminates (nearly) all misses.
+	if frac := float64(r.CBGppMisses) / float64(r.Hosts); frac > 0.05 {
+		t.Errorf("CBG++ missed %.1f%% of hosts; paper reports zero", 100*frac)
+	}
+	if r.CBGppEmpty > 0 {
+		t.Errorf("CBG++ returned %d empty regions; must never", r.CBGppEmpty)
+	}
+	if !strings.Contains(r.Render(), "§5.1") {
+		t.Error("render")
+	}
+}
+
+func TestFig13Eta(t *testing.T) {
+	r, err := lab(t).Fig13Eta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Proxies < 5 {
+		t.Fatalf("pingable proxies = %d", r.Proxies)
+	}
+	if math.Abs(r.Eta-0.5) > 0.06 {
+		t.Errorf("η = %.3f, want ≈0.49 (Fig 13)", r.Eta)
+	}
+	if r.R2 < 0.95 {
+		t.Errorf("R² = %.4f, want >0.95", r.R2)
+	}
+	if !strings.Contains(r.Render(), "η") {
+		t.Error("render")
+	}
+}
+
+func TestFig14Market(t *testing.T) {
+	r := lab(t).Fig14Market()
+	if len(r.Entries) != 157 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	if !strings.Contains(r.Render(), "provider A") {
+		t.Error("render should rank provider A")
+	}
+}
+
+func TestAuditHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	l := lab(t)
+	r, err := l.Fig17Assessment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := r.Tally
+	if tl.Total() < l.Cfg.FleetTotal-20 {
+		t.Fatalf("assessed %d of %d servers", tl.Total(), l.Cfg.FleetTotal)
+	}
+	// Headline: at least a third of servers are not in their advertised
+	// country (definitely false).
+	falseFrac := float64(tl.False) / float64(tl.Total())
+	if falseFrac < 0.20 || falseFrac > 0.50 {
+		t.Errorf("false fraction %.2f, paper ≈ 0.28 (638/2269)", falseFrac)
+	}
+	credFrac := float64(tl.Credible) / float64(tl.Total())
+	if credFrac < 0.25 || credFrac > 0.70 {
+		t.Errorf("credible fraction %.2f, paper ≈ 0.44", credFrac)
+	}
+	// Many false claims are off-continent (paper: 401 of 638).
+	if tl.False > 20 && float64(tl.FalseOffContinent) < 0.3*float64(tl.False) {
+		t.Errorf("only %d of %d false claims off-continent; paper has 401/638", tl.FalseOffContinent, tl.False)
+	}
+	// The top claimed countries should be dominated by hosting-friendly
+	// countries.
+	if len(r.TopProbable) == 0 || len(r.TopClaimed) == 0 {
+		t.Fatal("no country breakdowns")
+	}
+	top := r.TopProbable[0].Country
+	if top != "us" && top != "de" && top != "nl" && top != "gb" {
+		t.Errorf("top probable country %q, want a major hosting country", top)
+	}
+	if !strings.Contains(r.Render(), "Fig 17") {
+		t.Error("render")
+	}
+}
+
+func TestAuditAccuracyAgainstGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	l := lab(t)
+	run, err := l.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A false verdict must (almost) never hit a server that actually is
+	// in its claimed country: CBG++ regions cover the truth, so a truly
+	// honest claim can't be ruled out. Allow a tiny error budget for
+	// grid-coarseness at quick scale.
+	byID := map[string]string{}
+	trueByID := map[string]string{}
+	for _, s := range l.Fleet.Servers() {
+		byID[string(s.Host.ID)] = s.ClaimedCountry
+		trueByID[string(s.Host.ID)] = s.TrueCountry
+	}
+	wrongFalse := 0
+	falseTotal := 0
+	for _, r := range run.Results {
+		if r.Verdict != assess.False {
+			continue
+		}
+		falseTotal++
+		if trueByID[r.ServerID] == r.ClaimedCountry {
+			wrongFalse++
+		}
+	}
+	if falseTotal == 0 {
+		t.Fatal("no false verdicts at all")
+	}
+	if frac := float64(wrongFalse) / float64(falseTotal); frac > 0.08 {
+		t.Errorf("%.1f%% of false verdicts were actually honest claims (%d/%d)", 100*frac, wrongFalse, falseTotal)
+	}
+}
+
+func TestFig16Disambiguation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	r, err := lab(t).Fig16Disambiguation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UncertainBefore == 0 {
+		t.Skip("no uncertain verdicts at quick scale")
+	}
+	if r.ByDataCenters+r.ByGroups == 0 {
+		t.Error("disambiguation resolved nothing; paper resolves 353 cases")
+	}
+	if !strings.Contains(r.Render(), "Fig 15/16") {
+		t.Error("render")
+	}
+}
+
+func TestFig18Honesty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	r, err := lab(t).Fig18HonestyByCountry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	// Aggregate honesty: F and G (modest claimants) should beat A (the
+	// extravagant claimant) — the Figure 18/19 pattern.
+	backed := map[string][2]int{}
+	for _, c := range r.Cells {
+		v := backed[c.Provider]
+		v[0] += c.Backed
+		v[1] += c.Claimed
+		backed[c.Provider] = v
+	}
+	rate := func(p string) float64 {
+		v := backed[p]
+		if v[1] == 0 {
+			return 0
+		}
+		return float64(v[0]) / float64(v[1])
+	}
+	if rate("A") >= rate("G") {
+		t.Errorf("provider A honesty %.2f ≥ G %.2f — inverts Figures 18/19", rate("A"), rate("G"))
+	}
+	if !strings.Contains(r.Render(), "Fig 18/19") {
+		t.Error("render")
+	}
+}
+
+func TestFig20RegionSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	r, err := lab(t).Fig20RegionSizeVsLandmark()
+	if err != nil {
+		t.Skipf("no usable group at quick scale: %v", err)
+	}
+	if math.Abs(r.Corr) > 0.85 {
+		t.Errorf("size↔landmark-distance correlation %.2f; paper reports none", r.Corr)
+	}
+	if r.MeanAreaKm2 <= 0 {
+		t.Error("zero mean area")
+	}
+	if !strings.Contains(r.Render(), "Fig 20") {
+		t.Error("render")
+	}
+}
+
+func TestFig21Comparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	rows, err := lab(t).Fig21Comparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CBGppGenerous < r.CBGppStrict {
+			t.Errorf("%s: generous %.2f < strict %.2f", r.Provider, r.CBGppGenerous, r.CBGppStrict)
+		}
+		// Databases agree more than the strict active verdicts (the §6.2
+		// headline) for every provider.
+		for name, v := range r.Databases {
+			if v < r.CBGppStrict-0.25 {
+				t.Errorf("%s: database %s (%.2f) far below CBG++ strict (%.2f) — inverts Fig 21", r.Provider, name, v, r.CBGppStrict)
+			}
+		}
+		if len(r.Databases) != 5 {
+			t.Errorf("%s: %d databases", r.Provider, len(r.Databases))
+		}
+	}
+	if !strings.Contains(RenderFig21(rows), "Fig 21") {
+		t.Error("render")
+	}
+}
+
+func TestFig22_23Confusion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	r, err := lab(t).Fig22_23Confusion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal dominance: same-continent confusion should dwarf
+	// cross-continent confusion for Europe.
+	eu := r.Continents[[2]string{"Europe", "Europe"}]
+	if eu == 0 {
+		t.Skip("no European confusion at quick scale")
+	}
+	for _, other := range []string{"Asia", "North America", "Australia"} {
+		if cross := r.Continents[[2]string{"Europe", other}]; cross > eu {
+			t.Errorf("Europe-%s confusion %d exceeds Europe-Europe %d", other, cross, eu)
+		}
+	}
+	if len(r.Countries) == 0 {
+		t.Error("empty country matrix")
+	}
+	if !strings.Contains(r.Render(), "Fig 22") {
+		t.Error("render")
+	}
+}
+
+func TestLabDeterminism(t *testing.T) {
+	// Two labs with the same config must build identical constellations.
+	a, err := NewLab(Config{Seed: 7, Anchors: 12, Probes: 4, GridResDeg: 3, FleetTotal: 30, Volunteers: 2, MTurkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLab(Config{Seed: 7, Anchors: 12, Probes: 4, GridResDeg: 3, FleetTotal: 30, Volunteers: 2, MTurkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, ib := a.sortedAnchorIDs(), b.sortedAnchorIDs()
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatal("anchor IDs differ")
+		}
+		if a.Cons.Anchors()[i].Host.Loc != b.Cons.Anchors()[i].Host.Loc {
+			t.Fatal("anchor locations differ")
+		}
+	}
+}

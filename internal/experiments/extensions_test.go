@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtRefinement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	r, err := lab(t).ExtRefinement(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hosts < 3 {
+		t.Fatalf("hosts = %d", r.Hosts)
+	}
+	if r.MeanAreaAfter > r.MeanAreaBefore*1.05 {
+		t.Errorf("refinement grew regions: %.0f → %.0f km²", r.MeanAreaBefore, r.MeanAreaAfter)
+	}
+	// Refinement must not sacrifice correctness.
+	if r.StillCovered < r.Hosts-1 {
+		t.Errorf("refined regions cover truth for only %d/%d hosts", r.StillCovered, r.Hosts)
+	}
+	if !strings.Contains(r.Render(), "refinement") {
+		t.Error("render")
+	}
+}
+
+func TestExtCoLocation(t *testing.T) {
+	r, err := lab(t).ExtCoLocation("A", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Groups == 0 {
+		t.Fatal("no co-located groups")
+	}
+	if r.PureGroups < r.Groups {
+		t.Errorf("%d of %d groups mix data centers", r.Groups-r.PureGroups, r.Groups)
+	}
+	// Provider A lies a lot: some groups must span claimed countries.
+	if r.CrossCountryGroups == 0 {
+		t.Error("no cross-country co-located groups for provider A")
+	}
+	if _, err := lab(t).ExtCoLocation("Z", 10); err == nil {
+		t.Error("unknown provider should fail")
+	}
+	if !strings.Contains(r.Render(), "co-location") {
+		t.Error("render")
+	}
+}
+
+func TestExtIndirectError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	r, err := lab(t).ExtIndirectError(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Servers < 8 {
+		t.Fatalf("servers = %d", r.Servers)
+	}
+	// Indirect measurement adds noise, so its error should not be
+	// dramatically better than direct; and both should be bounded.
+	if r.MeanIndirectMissKm > 5000 || r.MeanDirectMissKm > 5000 {
+		t.Errorf("implausible centroid errors: direct %.0f, indirect %.0f", r.MeanDirectMissKm, r.MeanIndirectMissKm)
+	}
+	if r.MeanIndirectMissKm < r.MeanDirectMissKm*0.3 {
+		t.Errorf("indirect (%.0f km) dramatically beats direct (%.0f km) — suspicious", r.MeanIndirectMissKm, r.MeanDirectMissKm)
+	}
+	if !strings.Contains(r.Render(), "indirect") {
+		t.Error("render")
+	}
+}
+
+func TestExtConstellations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy pipeline test: skipped with -short")
+	}
+	r, err := lab(t).ExtConstellations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WithinMedianRatio < 1.0 {
+		t.Errorf("within-RIPE median ratio %.2f below 1 — bestlines underestimating their own mesh", r.WithinMedianRatio)
+	}
+	// §8.1's hypothesis: anchors' stable subnets make bestlines
+	// overestimate for hosts with worse last miles (Ark-like), while
+	// academic nodes (PlanetLab-like) should look similar to anchors.
+	ark := r.CrossMedianRatio["ark"]
+	pl := r.CrossMedianRatio["planetlab"]
+	if ark <= r.WithinMedianRatio {
+		t.Errorf("Ark cross ratio %.2f not above within ratio %.2f", ark, r.WithinMedianRatio)
+	}
+	if pl >= ark {
+		t.Errorf("PlanetLab ratio %.2f should be below Ark %.2f (better connectivity)", pl, ark)
+	}
+	if r.Pairs["ark"] == 0 || r.Pairs["planetlab"] == 0 {
+		t.Error("no cross pairs measured")
+	}
+	if !strings.Contains(r.Render(), "constellations") {
+		t.Error("render")
+	}
+}
+
+func TestExtAdversary(t *testing.T) {
+	r, err := lab(t).ExtAdversary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attack should move the prediction decisively toward the decoy
+	// and away from the truth.
+	if r.ForgedCBGppToDecoyKm > 4000 {
+		t.Errorf("forged CBG++ centroid %.0f km from decoy — attack failed, paper expects it to work", r.ForgedCBGppToDecoyKm)
+	}
+	if r.CBGppCoversTruth {
+		t.Error("forged region still covers the truth; the §8 threat should displace it")
+	}
+	if r.HonestMissKm > 3000 {
+		t.Errorf("honest baseline centroid %.0f km off", r.HonestMissKm)
+	}
+	if !strings.Contains(r.Render(), "adversary") {
+		t.Error("render")
+	}
+}

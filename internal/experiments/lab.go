@@ -1,0 +1,183 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated substrate: algorithm validation on the
+// crowdsourced cohort (Figures 2, 4–6, 9–11), the proxy adaptations
+// (Figures 12–13), and the full seven-provider audit (Figures 14–23).
+//
+// A Lab bundles the expensive shared state — the network, the landmark
+// constellation, the calibrated algorithms, the proxy fleet and the
+// crowdsourced cohort — so that one setup serves all experiments, and
+// the audit pipeline (the most expensive run) is computed once and
+// memoized.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/cbg"
+	"activegeo/internal/cbgpp"
+	"activegeo/internal/crowd"
+	"activegeo/internal/geo"
+	"activegeo/internal/geoloc"
+	"activegeo/internal/hybrid"
+	"activegeo/internal/netsim"
+	"activegeo/internal/octant"
+	"activegeo/internal/proxy"
+	"activegeo/internal/spotter"
+)
+
+// Config sizes a Lab.
+type Config struct {
+	Seed       int64
+	Anchors    int
+	Probes     int
+	GridResDeg float64
+	FleetTotal int
+	Volunteers int
+	MTurkers   int
+}
+
+// PaperConfig reproduces the paper's scale: 250 anchors, ~800 stable
+// probes, 2269 proxy servers, 190 crowdsourced hosts.
+func PaperConfig() Config {
+	return Config{
+		Seed:       2018,
+		Anchors:    250,
+		Probes:     800,
+		GridResDeg: 1.0,
+		FleetTotal: 2269,
+		Volunteers: 40,
+		MTurkers:   150,
+	}
+}
+
+// QuickConfig is a reduced-scale lab for tests and benchmarks: the same
+// pipeline at roughly a tenth the size.
+func QuickConfig() Config {
+	return Config{
+		Seed:       2018,
+		Anchors:    80,
+		Probes:     120,
+		GridResDeg: 1.5,
+		FleetTotal: 350,
+		Volunteers: 12,
+		MTurkers:   48,
+	}
+}
+
+// Lab is the shared experimental setup.
+type Lab struct {
+	Cfg   Config
+	Net   *netsim.Network
+	Cons  *atlas.Constellation
+	Env   *geoloc.Env
+	Fleet *proxy.Fleet
+	Crowd []*crowd.Host
+
+	// Client is the measurement client host (Frankfurt, like the paper's).
+	Client netsim.HostID
+
+	// Calibrated algorithms.
+	CBG     *cbg.CBG
+	Octant  *octant.Octant
+	Spotter *spotter.Spotter
+	Hybrid  *hybrid.Hybrid
+	CBGpp   *cbgpp.CBGPP
+
+	// Memoized audit results (Figure 17 pipeline).
+	audit *AuditRun
+	// Memoized foreign constellations (§8.1 multi-constellation study);
+	// hosts can only be added to the network once.
+	foreign map[string][]*atlas.Landmark
+}
+
+// NewLab builds and calibrates everything.
+func NewLab(cfg Config) (*Lab, error) {
+	if cfg.Anchors == 0 {
+		cfg = PaperConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := netsim.New(cfg.Seed)
+
+	cons, err := atlas.Build(net, atlas.Config{
+		Anchors:        cfg.Anchors,
+		Probes:         cfg.Probes,
+		SamplesPerPair: 4,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building constellation: %w", err)
+	}
+
+	env := geoloc.NewEnv(cfg.GridResDeg)
+
+	fleet, err := proxy.BuildFleet(net, proxy.Config{
+		TotalServers:             cfg.FleetTotal,
+		ICMPBlockFraction:        0.90,
+		DropTimeExceededFraction: 0.33,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building fleet: %w", err)
+	}
+
+	cohort, err := crowd.Build(cons, crowd.Config{
+		Volunteers: cfg.Volunteers,
+		MTurk:      cfg.MTurkers,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building crowd: %w", err)
+	}
+
+	client := netsim.HostID("client-frankfurt")
+	if err := net.AddHost(&netsim.Host{
+		ID:            client,
+		Loc:           geo.Point{Lat: 50.11, Lon: 8.68},
+		AccessDelayMs: 1,
+	}); err != nil {
+		return nil, err
+	}
+
+	lab := &Lab{Cfg: cfg, Net: net, Cons: cons, Env: env, Fleet: fleet, Crowd: cohort, Client: client}
+
+	cbgCal, err := cbg.Calibrate(cons, cbg.Options{})
+	if err != nil {
+		return nil, err
+	}
+	lab.CBG = cbg.New(env, cbgCal)
+
+	octCal, err := octant.Calibrate(cons)
+	if err != nil {
+		return nil, err
+	}
+	lab.Octant = octant.New(env, octCal)
+
+	model, err := spotter.Calibrate(cons)
+	if err != nil {
+		return nil, err
+	}
+	lab.Spotter = spotter.New(env, model)
+	lab.Hybrid = hybrid.New(env, model)
+
+	ppCal, err := cbgpp.Calibrate(cons, cbgpp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	lab.CBGpp = cbgpp.New(env, ppCal, cbgpp.Options{})
+
+	return lab, nil
+}
+
+// Algorithms returns the four §3 algorithms in paper order (Figure 9).
+func (l *Lab) Algorithms() []geoloc.Algorithm {
+	return []geoloc.Algorithm{l.CBG, l.Octant, l.Spotter, l.Hybrid}
+}
+
+// rng returns a fresh deterministic stream for an experiment, decoupled
+// from construction randomness so experiments can run in any order.
+func (l *Lab) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(l.Cfg.Seed*1000003 + salt))
+}
+
+// ResetAudit drops the memoized audit so the full pipeline can be
+// re-run (used by benchmarks that time the pipeline itself).
+func (l *Lab) ResetAudit() { l.audit = nil }

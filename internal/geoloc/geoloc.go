@@ -1,0 +1,175 @@
+// Package geoloc defines the types shared by all active-geolocation
+// algorithms: measurements, the Algorithm interface, and the common
+// environment (grid + world map) predictions are produced in, including
+// the paper's physical-plausibility exclusions (on land, between 60°S
+// and 85°N).
+package geoloc
+
+import (
+	"errors"
+	"sort"
+
+	"activegeo/internal/geo"
+	"activegeo/internal/grid"
+	"activegeo/internal/netsim"
+	"activegeo/internal/worldmap"
+)
+
+// Measurement is one round-trip-time observation of the target from a
+// landmark in a known location. RTTms must already be corrected for
+// measurement artifacts (proxy indirection, double round trips); see
+// package measure.
+type Measurement struct {
+	LandmarkID netsim.HostID
+	Landmark   geo.Point
+	RTTms      float64
+}
+
+// OneWayMs returns the one-way travel time of the measurement.
+func (m Measurement) OneWayMs() float64 { return geo.OneWayMs(m.RTTms) }
+
+// Algorithm estimates a target's location from measurements.
+type Algorithm interface {
+	// Name identifies the algorithm ("CBG", "Quasi-Octant", …).
+	Name() string
+	// Locate returns the prediction region. An empty region means the
+	// algorithm failed to produce any location consistent with the
+	// measurements.
+	Locate(ms []Measurement) (*grid.Region, error)
+}
+
+// ErrNoMeasurements is returned when Locate is called with no usable
+// measurements.
+var ErrNoMeasurements = errors.New("geoloc: no measurements")
+
+// Env bundles the discretization grid and the world-map masks shared by
+// algorithm implementations. Build one per experiment and reuse it; the
+// mask construction dominates setup cost.
+type Env struct {
+	Grid *grid.Grid
+	Mask *worldmap.Mask
+}
+
+// NewEnv builds an environment at the given grid resolution (degrees).
+func NewEnv(resDeg float64) *Env {
+	g := grid.New(resDeg)
+	return &Env{Grid: g, Mask: worldmap.NewMask(g)}
+}
+
+// PadKm is the conservative rasterization margin for this grid: a cell
+// should be kept by a disk constraint if any part of the cell could be
+// inside the disk, which we approximate by padding the disk radius with
+// (slightly more than) half the cell diagonal. Without this, a tight but
+// correct disk can drop the very cell containing the target.
+func (e *Env) PadKm() float64 {
+	return 0.8 * 111.195 * e.Grid.Resolution()
+}
+
+// ApplyExclusions intersects the region with the land mask (which already
+// excludes terrain north of 85°N and south of 60°S). If no land cell
+// survives — a prediction entirely at sea — the latitude exclusion alone
+// is applied, so the caller still sees where the algorithm pointed.
+func (e *Env) ApplyExclusions(r *grid.Region) *grid.Region {
+	masked := r.Clone()
+	masked.IntersectWith(e.Mask.LandRef())
+	if !masked.Empty() {
+		return masked
+	}
+	sea := r.Clone()
+	sea.Filter(func(p geo.Point) bool { return p.Lat <= 85 && p.Lat >= -60 })
+	return sea
+}
+
+// Collapse deduplicates measurements by landmark, keeping the minimum RTT
+// for each — the standard treatment, since queueing can only add delay.
+// The result is sorted by landmark ID for determinism.
+func Collapse(ms []Measurement) []Measurement {
+	best := map[netsim.HostID]Measurement{}
+	for _, m := range ms {
+		if cur, ok := best[m.LandmarkID]; !ok || m.RTTms < cur.RTTms {
+			best[m.LandmarkID] = m
+		}
+	}
+	out := make([]Measurement, 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LandmarkID < out[j].LandmarkID })
+	return out
+}
+
+// CoverageArgmax returns the set of grid cells covered by the maximum
+// number of the given constraint regions, along with that maximum count.
+// It is the discrete analogue of "the largest subset of disks whose
+// intersection is nonempty" from CBG++ (§5.1): any cell covered by k
+// disks witnesses a k-subset with nonempty intersection, so the cells at
+// the maximum count are exactly the intersection of the largest such
+// subset(s).
+func CoverageArgmax(g *grid.Grid, regions []*grid.Region) (*grid.Region, int) {
+	counts := make([]int16, g.NumCells())
+	for _, r := range regions {
+		r.Each(func(i int) { counts[i]++ })
+	}
+	var maxc int16
+	for _, c := range counts {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	out := g.NewRegion()
+	if maxc == 0 {
+		return out, 0
+	}
+	for i, c := range counts {
+		if c == maxc {
+			out.Add(i)
+		}
+	}
+	return out, int(maxc)
+}
+
+// IntersectOrArgmax multilaterates ring/disk constraint regions: it
+// first tries the strict intersection of all constraints; when noise
+// makes that empty (common for ring constraints at world scale, §5),
+// it falls back to the cells covered by the largest consistent subset.
+// The strict path keeps successful predictions small — the behaviour
+// behind the paper's Figure 9C, where ring-based algorithms produce
+// much smaller (and often wrong) regions than CBG.
+func IntersectOrArgmax(g *grid.Grid, regions []*grid.Region) *grid.Region {
+	if len(regions) == 0 {
+		return g.NewRegion()
+	}
+	strict := regions[0].Clone()
+	for _, r := range regions[1:] {
+		strict.IntersectWith(r)
+		if strict.Empty() {
+			// Octant's weighted regions reduce to the maximum-coverage
+			// cells when all weights are equal — but a region where only
+			// a minority of constraints agree is no prediction at all,
+			// so require a clear majority.
+			best, count := CoverageArgmax(g, regions)
+			if count*2 < len(regions) {
+				return g.NewRegion()
+			}
+			return best
+		}
+	}
+	return strict
+}
+
+// RingRegion builds the region covered by a spherical annulus.
+func RingRegion(g *grid.Grid, ring geo.Ring) *grid.Region {
+	outer := g.CapRegion(geo.Cap{Center: ring.Center, RadiusKm: ring.MaxKm})
+	if ring.MinKm > 0 {
+		inner := g.CapRegion(geo.Cap{Center: ring.Center, RadiusKm: ring.MinKm})
+		// Keep boundary cells: a cell whose center is just inside MinKm
+		// may still contain ring area, so only subtract the strict
+		// interior by shrinking the inner cap by one cell diagonal.
+		shrink := ring.MinKm - 1.5*111.195*g.Resolution()
+		if shrink > 0 {
+			inner = g.CapRegion(geo.Cap{Center: ring.Center, RadiusKm: shrink})
+			outer.SubtractWith(inner)
+		}
+	}
+	return outer
+}

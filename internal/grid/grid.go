@@ -1,0 +1,388 @@
+// Package grid discretizes the Earth's surface into an (approximately)
+// equal-area grid of cells and represents geolocation prediction regions
+// as bitsets over those cells.
+//
+// The grid is built from latitude bands of fixed angular height; each band
+// is divided into a number of columns proportional to cos(latitude), so
+// every cell covers roughly the same surface area. All multilateration in
+// this library — disks (CBG), rings (Octant), posterior mass (Spotter) —
+// reduces to selecting subsets of these cells.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"activegeo/internal/geo"
+)
+
+// Grid is an immutable equal-area discretization of the sphere. Build one
+// with New and share it; Regions are only comparable within one Grid.
+type Grid struct {
+	resDeg     float64   // band height in degrees
+	bands      int       // number of latitude bands
+	cols       []int     // columns per band
+	bandOffset []int     // first cell index of each band
+	total      int       // total number of cells
+	cellArea   []float64 // area of one cell in each band, km²
+	centers    []geo.Point
+}
+
+// New builds a grid with latitude bands resDeg degrees tall. A resolution
+// of 1.0° yields ≈41k cells (cells ≈111 km tall); 0.5° yields ≈165k.
+func New(resDeg float64) *Grid {
+	if resDeg <= 0 || resDeg > 30 {
+		panic(fmt.Sprintf("grid: invalid resolution %v", resDeg))
+	}
+	bands := int(math.Ceil(180 / resDeg))
+	g := &Grid{
+		resDeg:     resDeg,
+		bands:      bands,
+		cols:       make([]int, bands),
+		bandOffset: make([]int, bands),
+		cellArea:   make([]float64, bands),
+	}
+	offset := 0
+	for b := 0; b < bands; b++ {
+		latLo := -90 + float64(b)*resDeg
+		latHi := math.Min(latLo+resDeg, 90)
+		latMid := (latLo + latHi) / 2
+		n := int(math.Max(1, math.Round(360*math.Cos(latMid*math.Pi/180)/resDeg)))
+		g.cols[b] = n
+		g.bandOffset[b] = offset
+		offset += n
+		// Band area: 2πR² |sin(hi) - sin(lo)|, divided among n cells.
+		bandArea := 2 * math.Pi * geo.EarthRadiusKm * geo.EarthRadiusKm *
+			math.Abs(math.Sin(latHi*math.Pi/180)-math.Sin(latLo*math.Pi/180))
+		g.cellArea[b] = bandArea / float64(n)
+	}
+	g.total = offset
+	g.centers = make([]geo.Point, g.total)
+	for b := 0; b < bands; b++ {
+		latLo := -90 + float64(b)*resDeg
+		latHi := math.Min(latLo+resDeg, 90)
+		latMid := (latLo + latHi) / 2
+		n := g.cols[b]
+		for c := 0; c < n; c++ {
+			lon := -180 + (float64(c)+0.5)*360/float64(n)
+			g.centers[g.bandOffset[b]+c] = geo.Point{Lat: latMid, Lon: lon}
+		}
+	}
+	return g
+}
+
+// NumCells returns the total number of cells.
+func (g *Grid) NumCells() int { return g.total }
+
+// Resolution returns the band height in degrees.
+func (g *Grid) Resolution() float64 { return g.resDeg }
+
+// Center returns the center point of cell i.
+func (g *Grid) Center(i int) geo.Point { return g.centers[i] }
+
+// CellArea returns the surface area of cell i in km².
+func (g *Grid) CellArea(i int) float64 { return g.cellArea[g.bandOf(i)] }
+
+// CellAt returns the index of the cell containing p.
+func (g *Grid) CellAt(p geo.Point) int {
+	p = p.Normalize()
+	b := int((p.Lat + 90) / g.resDeg)
+	if b >= g.bands {
+		b = g.bands - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	n := g.cols[b]
+	c := int((p.Lon + 180) / 360 * float64(n))
+	if c >= n {
+		c = n - 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	return g.bandOffset[b] + c
+}
+
+func (g *Grid) bandOf(i int) int {
+	// Binary search over bandOffset.
+	lo, hi := 0, g.bands-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if g.bandOffset[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// bandLatRange returns the latitude span [lo, hi] of band b.
+func (g *Grid) bandLatRange(b int) (lo, hi float64) {
+	lo = -90 + float64(b)*g.resDeg
+	return lo, math.Min(lo+g.resDeg, 90)
+}
+
+// Region is a set of grid cells. The zero value is unusable; create
+// regions through Grid methods. Regions are mutable; use Clone before
+// destructive set operations when the original is still needed.
+type Region struct {
+	g    *Grid
+	bits []uint64
+}
+
+// NewRegion returns an empty region on g.
+func (g *Grid) NewRegion() *Region {
+	return &Region{g: g, bits: make([]uint64, (g.total+63)/64)}
+}
+
+// FullRegion returns a region covering every cell.
+func (g *Grid) FullRegion() *Region {
+	r := g.NewRegion()
+	for i := range r.bits {
+		r.bits[i] = ^uint64(0)
+	}
+	// Clear the bits beyond the last valid cell.
+	if extra := len(r.bits)*64 - g.total; extra > 0 {
+		r.bits[len(r.bits)-1] >>= uint(extra)
+	}
+	return r
+}
+
+// Grid returns the grid this region belongs to.
+func (r *Region) Grid() *Grid { return r.g }
+
+// Clone returns a deep copy.
+func (r *Region) Clone() *Region {
+	b := make([]uint64, len(r.bits))
+	copy(b, r.bits)
+	return &Region{g: r.g, bits: b}
+}
+
+// Add inserts cell i.
+func (r *Region) Add(i int) { r.bits[i/64] |= 1 << uint(i%64) }
+
+// Remove deletes cell i.
+func (r *Region) Remove(i int) { r.bits[i/64] &^= 1 << uint(i%64) }
+
+// Contains reports whether cell i is in the region.
+func (r *Region) Contains(i int) bool { return r.bits[i/64]&(1<<uint(i%64)) != 0 }
+
+// ContainsPoint reports whether the cell containing p is in the region.
+func (r *Region) ContainsPoint(p geo.Point) bool { return r.Contains(r.g.CellAt(p)) }
+
+// Count returns the number of cells in the region.
+func (r *Region) Count() int {
+	n := 0
+	for _, w := range r.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the region has no cells.
+func (r *Region) Empty() bool {
+	for _, w := range r.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AreaKm2 returns the total surface area of the region.
+func (r *Region) AreaKm2() float64 {
+	var area float64
+	r.Each(func(i int) { area += r.g.CellArea(i) })
+	return area
+}
+
+// Each calls fn for every cell index in the region, in increasing order.
+func (r *Region) Each(fn func(i int)) {
+	for w, word := range r.bits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			fn(w*64 + b)
+			word &= word - 1
+		}
+	}
+}
+
+// IntersectWith removes every cell of r not present in other.
+func (r *Region) IntersectWith(other *Region) {
+	for i := range r.bits {
+		r.bits[i] &= other.bits[i]
+	}
+}
+
+// UnionWith adds every cell of other to r.
+func (r *Region) UnionWith(other *Region) {
+	for i := range r.bits {
+		r.bits[i] |= other.bits[i]
+	}
+}
+
+// SubtractWith removes every cell of other from r.
+func (r *Region) SubtractWith(other *Region) {
+	for i := range r.bits {
+		r.bits[i] &^= other.bits[i]
+	}
+}
+
+// Filter removes every cell for which keep returns false.
+func (r *Region) Filter(keep func(center geo.Point) bool) {
+	r.Each(func(i int) {
+		if !keep(r.g.centers[i]) {
+			r.Remove(i)
+		}
+	})
+}
+
+// IntersectsRegion reports whether r and other share at least one cell.
+func (r *Region) IntersectsRegion(other *Region) bool {
+	for i := range r.bits {
+		if r.bits[i]&other.bits[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Centroid returns the area-weighted centroid of the region's cell
+// centers, computed in 3-D Cartesian space to behave across the
+// antimeridian. For an empty region it returns false.
+func (r *Region) Centroid() (geo.Point, bool) {
+	var x, y, z, wsum float64
+	r.Each(func(i int) {
+		p := r.g.centers[i]
+		w := r.g.CellArea(i)
+		latR := p.Lat * math.Pi / 180
+		lonR := p.Lon * math.Pi / 180
+		x += w * math.Cos(latR) * math.Cos(lonR)
+		y += w * math.Cos(latR) * math.Sin(lonR)
+		z += w * math.Sin(latR)
+		wsum += w
+	})
+	if wsum == 0 {
+		return geo.Point{}, false
+	}
+	x, y, z = x/wsum, y/wsum, z/wsum
+	norm := math.Sqrt(x*x + y*y + z*z)
+	if norm == 0 {
+		return geo.Point{}, false
+	}
+	lat := math.Asin(z/norm) * 180 / math.Pi
+	lon := math.Atan2(y, x) * 180 / math.Pi
+	return geo.Point{Lat: lat, Lon: lon}, true
+}
+
+// DistanceToPointKm returns the great-circle distance from the nearest
+// cell center of the region to p (0 if the region contains p's cell).
+// Returns +Inf for an empty region.
+func (r *Region) DistanceToPointKm(p geo.Point) float64 {
+	if r.ContainsPoint(p) {
+		return 0
+	}
+	best := math.Inf(1)
+	r.Each(func(i int) {
+		if d := geo.DistanceKm(r.g.centers[i], p); d < best {
+			best = d
+		}
+	})
+	return best
+}
+
+// AddCap adds every cell whose center lies within the cap, plus the cell
+// containing the cap's center (so a cap smaller than a cell still maps to
+// a nonempty region). It uses a latitude-band prefilter so the cost is
+// proportional to the cap size.
+func (r *Region) AddCap(c geo.Cap) {
+	g := r.g
+	r.Add(g.CellAt(c.Center))
+	if c.RadiusKm <= 0 {
+		return
+	}
+	latHalf := c.RadiusKm / 111.195 // degrees of latitude per km
+	bLo := int((c.Center.Lat - latHalf + 90) / g.resDeg)
+	bHi := int((c.Center.Lat + latHalf + 90) / g.resDeg)
+	if bLo < 0 {
+		bLo = 0
+	}
+	if bHi >= g.bands {
+		bHi = g.bands - 1
+	}
+	// Longitude prefilter: for a spherical cap that does not reach a
+	// pole, every cap point satisfies |lon − centerLon| ≤
+	// asin(sin(angularRadius)/cos(centerLat)). Caps that reach a pole or
+	// exceed a quarter sphere span all longitudes.
+	lonHalf := 180.0
+	ar := c.RadiusKm / geo.EarthRadiusKm
+	if ar < math.Pi/2 {
+		sinAr := math.Sin(ar)
+		cosLatC := math.Cos(c.Center.Lat * math.Pi / 180)
+		if sinAr < cosLatC {
+			lonHalf = math.Asin(sinAr/cosLatC) * 180 / math.Pi
+		}
+	}
+	for b := bLo; b <= bHi; b++ {
+		n := g.cols[b]
+		off := g.bandOffset[b]
+		span := lonHalf + 360/float64(n) // pad by one cell width
+		if span >= 180 {
+			for cc := 0; cc < n; cc++ {
+				if c.Contains(g.centers[off+cc]) {
+					r.Add(off + cc)
+				}
+			}
+			continue
+		}
+		cLo := int(math.Floor((c.Center.Lon - span + 180) / 360 * float64(n)))
+		cHi := int(math.Ceil((c.Center.Lon + span + 180) / 360 * float64(n)))
+		if cHi-cLo >= n {
+			cLo, cHi = 0, n-1
+		}
+		for k := cLo; k <= cHi; k++ {
+			cc := ((k % n) + n) % n
+			if c.Contains(g.centers[off+cc]) {
+				r.Add(off + cc)
+			}
+		}
+	}
+}
+
+// CapRegion returns a fresh region covering the cap.
+func (g *Grid) CapRegion(c geo.Cap) *Region {
+	r := g.NewRegion()
+	r.AddCap(c)
+	return r
+}
+
+// IntersectCap removes every cell whose center is outside the cap.
+func (r *Region) IntersectCap(c geo.Cap) {
+	r.Each(func(i int) {
+		if !c.Contains(r.g.centers[i]) {
+			r.Remove(i)
+		}
+	})
+}
+
+// IntersectRing removes every cell whose center is outside the ring.
+func (r *Region) IntersectRing(ring geo.Ring) {
+	r.Each(func(i int) {
+		if !ring.Contains(r.g.centers[i]) {
+			r.Remove(i)
+		}
+	})
+}
+
+// String summarizes the region.
+func (r *Region) String() string {
+	cnt := r.Count()
+	if cnt == 0 {
+		return "region{empty}"
+	}
+	c, _ := r.Centroid()
+	return fmt.Sprintf("region{%d cells, %.0f km², centroid %v}", cnt, r.AreaKm2(), c)
+}

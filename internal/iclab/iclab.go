@@ -1,0 +1,96 @@
+// Package iclab reimplements ICLab's geolocation checker (§6.2): a
+// falsification-only test. Given a country a host claims to be in and a
+// set of round-trip measurements, it computes — for each landmark — the
+// minimum distance between the landmark and the claimed country, and the
+// speed a packet would have needed to cover that distance in the
+// observed one-way time. The claim is accepted only if no packet had to
+// travel faster than the speed limit (153 km/ms, slightly above the
+// "speed of internet" of Katz-Bassett et al.).
+package iclab
+
+import (
+	"math"
+
+	"activegeo/internal/geo"
+	"activegeo/internal/geoloc"
+	"activegeo/internal/worldmap"
+)
+
+// SpeedLimitKmPerMs is ICLab's configured packet speed limit.
+const SpeedLimitKmPerMs = geo.ICLabSpeedKmPerMs
+
+// Checker validates country claims against measurements.
+type Checker struct {
+	// Limit defaults to SpeedLimitKmPerMs when zero.
+	Limit float64
+}
+
+// limit returns the effective speed limit.
+func (c *Checker) limit() float64 {
+	if c.Limit > 0 {
+		return c.Limit
+	}
+	return SpeedLimitKmPerMs
+}
+
+// MinDistanceToCountryKm returns the minimum great-circle distance from
+// p to any point of the country's territory (0 if p is inside).
+func MinDistanceToCountryKm(p geo.Point, country *worldmap.Country) float64 {
+	best := math.Inf(1)
+	for _, cap := range country.Shapes {
+		d := geo.DistanceKm(p, cap.Center) - cap.RadiusKm
+		if d < 0 {
+			return 0
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Verdict is the result of a claim check.
+type Verdict struct {
+	Accepted bool
+	// MaxRequiredSpeed is the fastest speed any packet would have needed
+	// (km/ms); the claim is rejected when it exceeds the limit.
+	MaxRequiredSpeed float64
+	// Violations counts measurements that individually exceed the limit.
+	Violations int
+}
+
+// Check tests whether the measurements are consistent with the target
+// being anywhere inside the claimed country.
+func (c *Checker) Check(claimedCountry string, ms []geoloc.Measurement) (Verdict, error) {
+	country := worldmap.ByCode(claimedCountry)
+	if country == nil {
+		return Verdict{}, errUnknownCountry(claimedCountry)
+	}
+	ms = geoloc.Collapse(ms)
+	if len(ms) == 0 {
+		return Verdict{}, geoloc.ErrNoMeasurements
+	}
+	v := Verdict{Accepted: true}
+	for _, m := range ms {
+		minDist := MinDistanceToCountryKm(m.Landmark, country)
+		t := m.OneWayMs()
+		if t <= 0 {
+			continue
+		}
+		speed := minDist / t
+		if speed > v.MaxRequiredSpeed {
+			v.MaxRequiredSpeed = speed
+		}
+		if speed > c.limit() {
+			v.Accepted = false
+			v.Violations++
+		}
+	}
+	return v, nil
+}
+
+type errUnknownCountry string
+
+func (e errUnknownCountry) Error() string {
+	return "iclab: unknown country code " + string(e)
+}

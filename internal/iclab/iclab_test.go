@@ -1,0 +1,130 @@
+package iclab
+
+import (
+	"testing"
+
+	"activegeo/internal/geo"
+	"activegeo/internal/geoloc"
+	"activegeo/internal/worldmap"
+)
+
+func TestMinDistanceToCountry(t *testing.T) {
+	de := worldmap.ByCode("de")
+	// Inside Germany → 0.
+	if d := MinDistanceToCountryKm(geo.Point{Lat: 52.52, Lon: 13.405}, de); d != 0 {
+		t.Errorf("Berlin to Germany = %f, want 0", d)
+	}
+	// Paris to Germany: a few hundred km.
+	d := MinDistanceToCountryKm(geo.Point{Lat: 48.86, Lon: 2.35}, de)
+	if d < 10 || d > 600 {
+		t.Errorf("Paris to Germany = %f km", d)
+	}
+	// New York to Germany: thousands of km.
+	d = MinDistanceToCountryKm(geo.Point{Lat: 40.71, Lon: -74.01}, de)
+	if d < 4000 {
+		t.Errorf("New York to Germany = %f km", d)
+	}
+}
+
+func TestCheckAcceptsTruthfulClaim(t *testing.T) {
+	// A server actually in Germany, measured from Frankfurt and Paris
+	// with plausible RTTs.
+	ms := []geoloc.Measurement{
+		{LandmarkID: "fra", Landmark: geo.Point{Lat: 50.11, Lon: 8.68}, RTTms: 12},
+		{LandmarkID: "par", Landmark: geo.Point{Lat: 48.86, Lon: 2.35}, RTTms: 22},
+	}
+	var c Checker
+	v, err := c.Check("de", ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted {
+		t.Errorf("truthful claim rejected: %+v", v)
+	}
+}
+
+func TestCheckRejectsImpossibleClaim(t *testing.T) {
+	// Claimed North Korea, but a Frankfurt landmark sees a 10 ms RTT:
+	// a packet would have had to cross ~8000 km in 5 ms (1600 km/ms).
+	ms := []geoloc.Measurement{
+		{LandmarkID: "fra", Landmark: geo.Point{Lat: 50.11, Lon: 8.68}, RTTms: 10},
+	}
+	var c Checker
+	v, err := c.Check("kp", ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted {
+		t.Errorf("impossible claim accepted: %+v", v)
+	}
+	if v.Violations != 1 {
+		t.Errorf("violations = %d", v.Violations)
+	}
+	if v.MaxRequiredSpeed < SpeedLimitKmPerMs {
+		t.Errorf("required speed %f should exceed the limit", v.MaxRequiredSpeed)
+	}
+}
+
+func TestCheckBoundarySpeed(t *testing.T) {
+	// Construct a measurement requiring a speed just under the limit.
+	landmark := geo.Point{Lat: 48.86, Lon: 2.35} // Paris
+	de := worldmap.ByCode("de")
+	dist := MinDistanceToCountryKm(landmark, de)
+	oneWay := dist / (SpeedLimitKmPerMs * 0.99)
+	ms := []geoloc.Measurement{{LandmarkID: "x", Landmark: landmark, RTTms: 2 * oneWay}}
+	var c Checker
+	v, err := c.Check("de", ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted {
+		t.Errorf("speed just under the limit should be accepted: %+v", v)
+	}
+	// And just over.
+	ms[0].RTTms = 2 * dist / (SpeedLimitKmPerMs * 1.01)
+	v, err = c.Check("de", ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted {
+		t.Errorf("speed just over the limit should be rejected: %+v", v)
+	}
+}
+
+func TestCheckCustomLimit(t *testing.T) {
+	ms := []geoloc.Measurement{
+		{LandmarkID: "fra", Landmark: geo.Point{Lat: 50.11, Lon: 8.68}, RTTms: 60},
+	}
+	strict := Checker{Limit: 1} // 1 km/ms: almost everything fails
+	v, err := strict.Check("us", ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted {
+		t.Error("strict limit should reject")
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	var c Checker
+	if _, err := c.Check("zz", []geoloc.Measurement{{RTTms: 1}}); err == nil {
+		t.Error("unknown country should error")
+	}
+	if _, err := c.Check("de", nil); err != geoloc.ErrNoMeasurements {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestZeroDelayMeasurementIgnored(t *testing.T) {
+	ms := []geoloc.Measurement{
+		{LandmarkID: "a", Landmark: geo.Point{Lat: 50.11, Lon: 8.68}, RTTms: 0},
+	}
+	var c Checker
+	v, err := c.Check("us", ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted || v.MaxRequiredSpeed != 0 {
+		t.Errorf("zero-delay measurement should be skipped: %+v", v)
+	}
+}

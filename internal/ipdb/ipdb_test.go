@@ -1,0 +1,96 @@
+package ipdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"activegeo/internal/netsim"
+	"activegeo/internal/proxy"
+)
+
+func testFleet(t testing.TB) *proxy.Fleet {
+	t.Helper()
+	net := netsim.New(5)
+	cfg := proxy.DefaultConfig()
+	cfg.TotalServers = 700
+	f, err := proxy.BuildFleet(net, cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestDatabasesRoster(t *testing.T) {
+	dbs := Databases()
+	if len(dbs) != 5 {
+		t.Fatalf("databases = %d, want 5 (Fig 21)", len(dbs))
+	}
+	want := map[string]bool{"MaxMind": true, "IPInfo": true, "IP2Location": true, "Eureka": true, "DB-IP": true}
+	for _, db := range dbs {
+		if !want[db.Name] {
+			t.Errorf("unexpected database %q", db.Name)
+		}
+	}
+	if ByName("MaxMind") == nil {
+		t.Error("ByName failed")
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown name should be nil")
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	f := testFleet(t)
+	db := ByName("MaxMind")
+	for _, s := range f.Servers()[:50] {
+		a, b := db.Lookup(s), db.Lookup(s)
+		if a != b {
+			t.Fatalf("lookup not deterministic for %s: %q vs %q", s.Host.ID, a, b)
+		}
+		if a != s.ClaimedCountry && a != s.TrueCountry {
+			t.Fatalf("lookup returned neither claim nor truth: %q", a)
+		}
+	}
+}
+
+func TestDatabasesAgreeMoreThanTruth(t *testing.T) {
+	// The §6.2 observation: IP-to-location databases echo provider
+	// claims far more often than the ground truth warrants.
+	f := testFleet(t)
+	servers := f.Servers()
+	truthAgree := 0
+	for _, s := range servers {
+		if s.TrueCountry == s.ClaimedCountry {
+			truthAgree++
+		}
+	}
+	truthRate := float64(truthAgree) / float64(len(servers))
+	for _, db := range Databases() {
+		rate := db.AgreementRate(servers)
+		if rate <= truthRate {
+			t.Errorf("%s agreement %.2f should exceed ground-truth rate %.2f", db.Name, rate, truthRate)
+		}
+		if rate < 0.5 || rate > 1.0 {
+			t.Errorf("%s agreement %.2f out of plausible range", db.Name, rate)
+		}
+	}
+}
+
+func TestPerProviderShape(t *testing.T) {
+	// IPInfo is notably skeptical of provider B (Fig 21: 39%).
+	f := testFleet(t)
+	b := f.Provider("B").Servers
+	ipinfo := ByName("IPInfo").AgreementRate(asServers(b))
+	maxmind := ByName("MaxMind").AgreementRate(asServers(b))
+	if ipinfo >= maxmind {
+		t.Errorf("IPInfo should trust provider B far less than MaxMind: %.2f vs %.2f", ipinfo, maxmind)
+	}
+}
+
+func TestAgreementRateEmpty(t *testing.T) {
+	if ByName("MaxMind").AgreementRate(nil) != 0 {
+		t.Error("empty agreement should be 0")
+	}
+}
+
+func asServers(s []*proxy.Server) []*proxy.Server { return s }

@@ -1,0 +1,267 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	ln, err := FitLine(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ln.Slope-2) > 1e-9 || math.Abs(ln.Intercept-1) > 1e-9 {
+		t.Errorf("got %+v, want slope 2 intercept 1", ln)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("want error for single point")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("want error for mismatched lengths")
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("want error for constant x")
+	}
+}
+
+func TestFitLineRecoversNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 100
+		y[i] = 5 + 0.7*x[i] + rng.NormFloat64()*0.5
+	}
+	ln, err := FitLine(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ln.Slope-0.7) > 0.02 || math.Abs(ln.Intercept-5) > 0.5 {
+		t.Errorf("recovered %+v, want slope 0.7 intercept 5", ln)
+	}
+	pred := make([]float64, n)
+	for i := range x {
+		pred[i] = ln.At(x[i])
+	}
+	if r2 := RSquared(y, pred); r2 < 0.99 {
+		t.Errorf("R² = %f, want > 0.99", r2)
+	}
+}
+
+func TestFitLineCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 50
+		y[i] = 3 + 2*x[i] + rng.NormFloat64()
+	}
+	ci, err := FitLineCI(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true slope must be inside the CI (with overwhelming
+	// probability at this n and noise level).
+	if math.Abs(ci.Slope-2) > ci.SlopeCI95+0.05 {
+		t.Errorf("true slope outside CI: %.3f ± %.3f", ci.Slope, ci.SlopeCI95)
+	}
+	if ci.SlopeCI95 <= 0 || ci.InterceptCI95 <= 0 || ci.ResidualSE <= 0 {
+		t.Errorf("degenerate CI: %+v", ci)
+	}
+	// More noise → wider CI.
+	for i := range y {
+		y[i] = 3 + 2*x[i] + rng.NormFloat64()*10
+	}
+	wide, err := FitLineCI(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.SlopeCI95 <= ci.SlopeCI95 {
+		t.Errorf("noisier data should widen the CI: %.4f vs %.4f", wide.SlopeCI95, ci.SlopeCI95)
+	}
+	// Tiny input: CI fields stay zero but the line is returned.
+	small, err := FitLineCI([]float64{0, 1}, []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Slope != 2 || small.SlopeCI95 != 0 {
+		t.Errorf("two-point fit %+v", small)
+	}
+}
+
+func TestFitLineThroughOrigin(t *testing.T) {
+	ln, err := FitLineThroughOrigin([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ln.Slope-2) > 1e-12 || ln.Intercept != 0 {
+		t.Errorf("got %+v", ln)
+	}
+}
+
+func TestTheilSenRobustToOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 100
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 10 + 0.49*x[i] + rng.NormFloat64()*0.2
+	}
+	// Corrupt 20% of the points badly.
+	for i := 0; i < 20; i++ {
+		y[rng.Intn(n)] += 500
+	}
+	ln, err := TheilSen(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ln.Slope-0.49) > 0.02 {
+		t.Errorf("Theil-Sen slope %f, want ≈0.49 despite outliers", ln.Slope)
+	}
+	// OLS, by contrast, should be dragged off by the outliers.
+	ols, _ := FitLine(x, y)
+	if math.Abs(ols.Slope-0.49) < math.Abs(ln.Slope-0.49) {
+		t.Error("OLS unexpectedly more robust than Theil-Sen here")
+	}
+}
+
+func TestLineInvertX(t *testing.T) {
+	ln := Line{Slope: 2, Intercept: 10}
+	if got := ln.InvertX(20); math.Abs(got-5) > 1e-12 {
+		t.Errorf("InvertX(20) = %f, want 5", got)
+	}
+	if got := ln.InvertX(0); got != 0 {
+		t.Errorf("InvertX below intercept should clamp to 0, got %f", got)
+	}
+	flat := Line{Slope: 0, Intercept: 10}
+	if got := flat.InvertX(20); !math.IsInf(got, 1) {
+		t.Errorf("flat line InvertX above intercept = %f, want +Inf", got)
+	}
+	if got := flat.InvertX(5); got != 0 {
+		t.Errorf("flat line InvertX below intercept = %f, want 0", got)
+	}
+}
+
+func TestFitCubicExact(t *testing.T) {
+	// y = 1 + 2x - 0.5x² + 0.25x³
+	want := Cubic{C: [4]float64{1, 2, -0.5, 0.25}}
+	var x, y []float64
+	for i := -10; i <= 10; i++ {
+		fx := float64(i) / 2
+		x = append(x, fx)
+		y = append(y, want.At(fx))
+	}
+	got, err := FitCubic(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.C {
+		if math.Abs(got.C[i]-want.C[i]) > 1e-6 {
+			t.Errorf("coefficient %d: got %f, want %f", i, got.C[i], want.C[i])
+		}
+	}
+}
+
+func TestFitCubicIncreasingIsMonotone(t *testing.T) {
+	// A strongly non-monotone target: fit must still come back monotone.
+	rng := rand.New(rand.NewSource(3))
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		fx := rng.Float64() * 100
+		x = append(x, fx)
+		y = append(y, 50*math.Sin(fx/10)+fx*0.01+rng.NormFloat64())
+	}
+	c, err := FitCubicIncreasing(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := MinMax(x)
+	if !c.IncreasingOn(lo, hi) {
+		t.Errorf("FitCubicIncreasing returned non-monotone cubic %+v", c)
+	}
+}
+
+func TestFitCubicIncreasingFewPoints(t *testing.T) {
+	c, err := FitCubicIncreasing([]float64{0, 1, 2}, []float64{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.At(3)-6) > 1e-9 {
+		t.Errorf("3-point fall-back line At(3) = %f, want 6", c.At(3))
+	}
+}
+
+func TestCubicIncreasingOn(t *testing.T) {
+	inc := Cubic{C: [4]float64{0, 1, 0, 0}}
+	if !inc.IncreasingOn(0, 100) {
+		t.Error("y=x should be increasing")
+	}
+	dec := Cubic{C: [4]float64{0, -1, 0, 0}}
+	if dec.IncreasingOn(0, 100) {
+		t.Error("y=-x should not be increasing")
+	}
+	// Cubic with an interior dip: x³ - 3x has derivative 3x²-3, negative on (-1,1).
+	dip := Cubic{C: [4]float64{0, -3, 0, 1}}
+	if dip.IncreasingOn(-2, 2) {
+		t.Error("x³-3x dips on (-1,1)")
+	}
+	if !dip.IncreasingOn(2, 5) {
+		t.Error("x³-3x increases beyond x=1")
+	}
+}
+
+func TestSolve4Singular(t *testing.T) {
+	// All x identical → singular normal equations.
+	if _, err := FitCubic([]float64{1, 1, 1, 1, 1}, []float64{1, 2, 3, 4, 5}); err == nil {
+		t.Error("want singularity error")
+	}
+}
+
+func TestRSquaredProperties(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if r := RSquared(y, y); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect prediction R² = %f, want 1", r)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := RSquared(y, mean); math.Abs(r) > 1e-12 {
+		t.Errorf("mean prediction R² = %f, want 0", r)
+	}
+	if !math.IsNaN(RSquared(nil, nil)) {
+		t.Error("empty R² should be NaN")
+	}
+}
+
+func TestQuickTheilSenMatchesExactLine(t *testing.T) {
+	f := func(slope, intercept float64, seed int64) bool {
+		if math.IsNaN(slope) || math.IsInf(slope, 0) || math.Abs(slope) > 1e6 {
+			return true
+		}
+		if math.IsNaN(intercept) || math.IsInf(intercept, 0) || math.Abs(intercept) > 1e6 {
+			return true
+		}
+		x := []float64{0, 1, 2, 3, 4, 5}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = intercept + slope*x[i]
+		}
+		ln, err := TheilSen(x, y)
+		if err != nil {
+			return false
+		}
+		scale := math.Max(1, math.Abs(slope))
+		return math.Abs(ln.Slope-slope) < 1e-9*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,238 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (NaN for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, v := range xs {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Median returns the median of xs without modifying it.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation, without modifying the input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// MinMax returns the minimum and maximum of xs.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	lo, hi = xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from samples (copied and sorted).
+func NewECDF(samples []float64) *ECDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns P(X ≤ x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// Number of samples ≤ x.
+	n := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile of the underlying samples.
+func (e *ECDF) Quantile(q float64) float64 {
+	return Quantile(e.sorted, q)
+}
+
+// Len returns the number of samples.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// NormalPDF evaluates the Gaussian density with mean mu and standard
+// deviation sigma at x. A non-positive sigma yields a point mass
+// approximation (huge density at mu, zero elsewhere).
+func NormalPDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x == mu {
+			return math.MaxFloat64
+		}
+		return 0
+	}
+	z := (x - mu) / sigma
+	return math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// GroupedRegression summarizes a one-slope-per-group linear model, used to
+// reproduce the paper's §4.3 tool-validation analysis (Figures 4–6).
+type GroupedRegression struct {
+	Groups map[string]Line
+	// R2 is the coefficient of determination of the combined model.
+	R2 float64
+}
+
+// FitGrouped fits an independent OLS line per group and reports the pooled
+// R² of the combined model.
+func FitGrouped(x, y []float64, group []string) (*GroupedRegression, error) {
+	if len(x) != len(y) || len(x) != len(group) {
+		return nil, ErrInsufficientData
+	}
+	idx := map[string][]int{}
+	for i, g := range group {
+		idx[g] = append(idx[g], i)
+	}
+	out := &GroupedRegression{Groups: make(map[string]Line, len(idx))}
+	pred := make([]float64, len(x))
+	for g, ids := range idx {
+		gx := make([]float64, len(ids))
+		gy := make([]float64, len(ids))
+		for k, i := range ids {
+			gx[k], gy[k] = x[i], y[i]
+		}
+		ln, err := FitLine(gx, gy)
+		if err != nil {
+			return nil, err
+		}
+		out.Groups[g] = ln
+		for _, i := range ids {
+			pred[i] = ln.At(x[i])
+		}
+	}
+	out.R2 = RSquared(y, pred)
+	return out, nil
+}
+
+// FTestNested compares two nested linear models by their residual sums of
+// squares: rssFull with dfFull residual degrees of freedom against
+// rssReduced with dfReduced. It returns the F statistic; large values mean
+// the extra parameters of the full model matter. (We report F only — the
+// paper quotes F and p; computing exact p-values needs the incomplete beta
+// function, approximated here via FTestPValue.)
+func FTestNested(rssReduced, rssFull float64, dfReduced, dfFull int) float64 {
+	dn := dfReduced - dfFull
+	if dn <= 0 || dfFull <= 0 || rssFull <= 0 {
+		return math.NaN()
+	}
+	return ((rssReduced - rssFull) / float64(dn)) / (rssFull / float64(dfFull))
+}
+
+// FTestPValue approximates the upper-tail p-value of an F(d1, d2)
+// distribution via the regularized incomplete beta function computed with
+// a continued fraction (Lentz's algorithm).
+func FTestPValue(f float64, d1, d2 int) float64 {
+	if math.IsNaN(f) || f <= 0 || d1 <= 0 || d2 <= 0 {
+		return math.NaN()
+	}
+	x := float64(d2) / (float64(d2) + float64(d1)*f)
+	return regIncBeta(float64(d2)/2, float64(d1)/2, x)
+}
+
+// regIncBeta computes I_x(a, b), the regularized incomplete beta function,
+// via the standard continued-fraction expansion (modified Lentz).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	// Use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) where the continued
+	// fraction converges fastest.
+	if x > (a+1)/(a+b+2) {
+		return 1 - regIncBeta(b, a, 1-x)
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+	const maxIter = 300
+	const eps = 1e-13
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= maxIter; i++ {
+		var num float64
+		m := i / 2
+		fm := float64(m)
+		switch {
+		case i == 0:
+			num = 1
+		case i%2 == 0:
+			num = (fm * (b - fm) * x) / ((a + 2*fm - 1) * (a + 2*fm))
+		default:
+			num = -((a + fm) * (a + b + fm) * x) / ((a + 2*fm) * (a + 2*fm + 1))
+		}
+		d = 1 + num*d
+		if math.Abs(d) < 1e-30 {
+			d = 1e-30
+		}
+		d = 1 / d
+		c = 1 + num/c
+		if math.Abs(c) < 1e-30 {
+			c = 1e-30
+		}
+		f *= c * d
+		if math.Abs(1-c*d) < eps {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

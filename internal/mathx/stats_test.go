@@ -1,0 +1,200 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedianStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Mean = %f, want 5", m)
+	}
+	if m := Median(xs); math.Abs(m-4.5) > 1e-12 {
+		t.Errorf("Median = %f, want 4.5", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2.138) > 0.01 {
+		t.Errorf("StdDev = %f, want ≈2.138", s)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("StdDev of one sample is 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%f) = %f, want %f", c.q, got, c.want)
+		}
+	}
+	// Quantile must not mutate its input.
+	shuffled := []float64{5, 1, 4, 2, 3}
+	Quantile(shuffled, 0.5)
+	if shuffled[0] != 5 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ECDF.At(%f) = %f, want %f", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	if q := e.Quantile(0.5); math.Abs(q-2) > 1e-12 {
+		t.Errorf("ECDF median = %f, want 2", q)
+	}
+}
+
+func TestECDFIsProperCDF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		e := NewECDF(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		prev := 0.0
+		for _, x := range sorted {
+			v := e.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return e.At(sorted[len(sorted)-1]) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	// Peak of a standard normal.
+	if got := NormalPDF(0, 0, 1); math.Abs(got-0.39894) > 1e-4 {
+		t.Errorf("N(0;0,1) = %f", got)
+	}
+	// Symmetry.
+	if NormalPDF(1, 0, 1) != NormalPDF(-1, 0, 1) {
+		t.Error("normal pdf should be symmetric")
+	}
+	// Degenerate sigma.
+	if NormalPDF(1, 0, 0) != 0 {
+		t.Error("point mass away from mean should be 0")
+	}
+	if NormalPDF(0, 0, 0) != math.MaxFloat64 {
+		t.Error("point mass at mean should be huge")
+	}
+}
+
+func TestFitGrouped(t *testing.T) {
+	// Two groups with different slopes, the scenario of Figure 4:
+	// one-round-trip and two-round-trip measurements.
+	var x, y []float64
+	var g []string
+	for i := 0; i < 50; i++ {
+		fx := float64(i) * 100
+		x = append(x, fx, fx)
+		y = append(y, 10+0.034*fx, 20+0.067*fx)
+		g = append(g, "one", "two")
+	}
+	gr, err := FitGrouped(x, y, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, two := gr.Groups["one"], gr.Groups["two"]
+	ratio := two.Slope / one.Slope
+	if math.Abs(ratio-1.97) > 0.02 {
+		t.Errorf("slope ratio = %f, want ≈1.97", ratio)
+	}
+	if gr.R2 < 0.999 {
+		t.Errorf("noiseless grouped fit R² = %f", gr.R2)
+	}
+}
+
+func TestFTest(t *testing.T) {
+	// Full model fits better: F should be positive and p small when the
+	// improvement is large relative to residual noise.
+	f := FTestNested(100, 10, 48, 46)
+	if f <= 0 {
+		t.Fatalf("F = %f", f)
+	}
+	p := FTestPValue(f, 2, 46)
+	if !(p > 0 && p < 1e-6) {
+		t.Errorf("p = %g, want tiny", p)
+	}
+	// No improvement: F ≈ 0, p ≈ 1.
+	f0 := FTestNested(10.0001, 10, 48, 46)
+	p0 := FTestPValue(f0, 2, 46)
+	if p0 < 0.9 {
+		t.Errorf("null p = %f, want ≈1", p0)
+	}
+	if !math.IsNaN(FTestNested(10, 10, 46, 46)) {
+		t.Error("degenerate df should give NaN")
+	}
+}
+
+func TestFTestPValueKnown(t *testing.T) {
+	// F(1, 10) upper tail at 4.965 ≈ 0.05 (classic table value).
+	p := FTestPValue(4.965, 1, 10)
+	if math.Abs(p-0.05) > 0.002 {
+		t.Errorf("p = %f, want ≈0.05", p)
+	}
+	// F(5, 20) at 2.71 ≈ 0.05.
+	p = FTestPValue(2.71, 5, 20)
+	if math.Abs(p-0.05) > 0.003 {
+		t.Errorf("p = %f, want ≈0.05", p)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %f,%f", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("MinMax(nil) should be NaN, NaN")
+	}
+}

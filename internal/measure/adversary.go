@@ -1,0 +1,81 @@
+package measure
+
+import (
+	"math/rand"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/geo"
+)
+
+// AdversarialProxiedTool wraps a ProxiedTool with the attacks the
+// paper's Discussion (§8) warns about. A proxy sits in the middle of
+// every measurement, so it can manipulate apparent RTTs in both
+// directions more easily than the end-host adversaries of Gill et al.
+// and Abdou et al.:
+//
+//   - selective *added* delay per landmark displaces the prediction
+//     region away from the proxy's true location;
+//   - forged early SYN-ACKs — trivial for the proxy, which sees the SYNs
+//     and needs no sequence-number guessing — *shorten* apparent RTTs,
+//     pulling the prediction toward a chosen decoy.
+//
+// The Decoy policy implements the natural combined strategy: make every
+// landmark's apparent proxy↔landmark time look as if the proxy were at
+// the decoy location.
+type AdversarialProxiedTool struct {
+	Inner *ProxiedTool
+
+	// Decoy, when set, rewrites each apparent proxy↔landmark RTT to the
+	// time a proxy at the decoy location would plausibly produce
+	// (decoy–landmark great-circle distance at the pretend speed).
+	Decoy *geo.Point
+	// PretendSpeedKmPerMs is the speed the forged delays imply
+	// (default: 120 km/ms, a plausible terrestrial path speed; using the
+	// full 200 km/ms would look suspiciously fast).
+	PretendSpeedKmPerMs float64
+	// ExtraDelayMs adds a constant to every measurement instead of (or
+	// on top of) the decoy rewrite — the cruder Gill et al. attack.
+	ExtraDelayMs float64
+}
+
+func (a *AdversarialProxiedTool) pretendSpeed() float64 {
+	if a.PretendSpeedKmPerMs <= 0 {
+		return 120
+	}
+	return a.PretendSpeedKmPerMs
+}
+
+// MeasureLandmark performs one manipulated measurement.
+func (a *AdversarialProxiedTool) MeasureLandmark(lm *atlas.Landmark, rng *rand.Rand) (Sample, error) {
+	s, err := a.Inner.Measure("", lm, rng)
+	if err != nil {
+		return Sample{}, err
+	}
+	// The client leg cannot be forged below its real value — the client
+	// talks to the proxy directly — so the adversary manipulates only
+	// the proxy↔landmark component.
+	clientLeg, err := a.Inner.Net.BaseRTTMs(a.Inner.Client, a.Inner.Proxy)
+	if err != nil {
+		return Sample{}, err
+	}
+	if a.Decoy != nil {
+		d := geo.DistanceKm(*a.Decoy, lm.Host.Loc)
+		forged := 2*d/a.pretendSpeed() + 2 + rng.Float64()*3
+		s.RTTms = clientLeg + forged
+	}
+	s.RTTms += a.ExtraDelayMs
+	return s, nil
+}
+
+// MeasureAll measures every given landmark with the manipulated tool.
+func (a *AdversarialProxiedTool) MeasureAll(lms []*atlas.Landmark, rng *rand.Rand) []Sample {
+	var out []Sample
+	for _, lm := range lms {
+		s, err := a.MeasureLandmark(lm, rng)
+		if err != nil {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package measure
+
+import (
+	"math/rand"
+	"testing"
+
+	"activegeo/internal/algtest"
+	"activegeo/internal/geo"
+)
+
+func TestAdversaryDecoyShiftsApparentLocation(t *testing.T) {
+	cons, _ := algtest.Fixture(t)
+	client := addTarget(t, cons.Net(), "adv-client", geo.Point{Lat: 50.11, Lon: 8.68})
+	proxy := addTarget(t, cons.Net(), "adv-proxy", geo.Point{Lat: 52.37, Lon: 4.89}) // really Amsterdam
+	decoy := geo.Point{Lat: 35.68, Lon: 139.65}                                      // pretends Tokyo
+	rng := rand.New(rand.NewSource(8))
+
+	inner := &ProxiedTool{Net: cons.Net(), Client: client, Proxy: proxy}
+	adv := &AdversarialProxiedTool{Inner: inner, Decoy: &decoy}
+
+	lms := cons.Anchors()[:30]
+	honest := inner
+	var honestErr, forgedErr float64
+	n := 0
+	for _, lm := range lms {
+		h, err := honest.Measure("", lm, rng)
+		if err != nil {
+			continue
+		}
+		f, err := adv.MeasureLandmark(lm, rng)
+		if err != nil {
+			continue
+		}
+		clientLeg, _ := cons.Net().BaseRTTMs(client, proxy)
+		trueDist := geo.DistanceKm(geo.Point{Lat: 52.37, Lon: 4.89}, lm.Host.Loc)
+		decoyDist := geo.DistanceKm(decoy, lm.Host.Loc)
+		// Honest apparent proxy-leg one-way distance at 120 km/ms.
+		honestKm := geo.OneWayMs(h.RTTms-clientLeg) * 120
+		forgedKm := geo.OneWayMs(f.RTTms-clientLeg) * 120
+		honestErr += abs(honestKm - trueDist)
+		forgedErr += abs(forgedKm - decoyDist)
+		n++
+	}
+	if n < 10 {
+		t.Fatalf("only %d measurements", n)
+	}
+	// The forged measurements should track the decoy geometry at least
+	// as consistently as honest ones track the truth.
+	if forgedErr/float64(n) > 3000 {
+		t.Errorf("forged measurements mean deviation from decoy geometry %.0f km", forgedErr/float64(n))
+	}
+}
+
+func TestAdversaryExtraDelay(t *testing.T) {
+	cons, _ := algtest.Fixture(t)
+	client := addTarget(t, cons.Net(), "adv2-client", geo.Point{Lat: 50.11, Lon: 8.68})
+	proxy := addTarget(t, cons.Net(), "adv2-proxy", geo.Point{Lat: 48.86, Lon: 2.35})
+	inner := &ProxiedTool{Net: cons.Net(), Client: client, Proxy: proxy, Attempts: 1}
+	adv := &AdversarialProxiedTool{Inner: inner, ExtraDelayMs: 100}
+	lm := cons.Anchors()[0]
+
+	rng := rand.New(rand.NewSource(9))
+	base, err := inner.Measure("", lm, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := adv.MeasureLandmark(lm, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not comparable sample-to-sample (different jitter draws), but the
+	// 100 ms padding must dominate.
+	if forged.RTTms < base.RTTms+50 {
+		t.Errorf("extra delay not applied: %.1f vs %.1f", forged.RTTms, base.RTTms)
+	}
+}
+
+func TestAdversaryMeasureAll(t *testing.T) {
+	cons, _ := algtest.Fixture(t)
+	client := addTarget(t, cons.Net(), "adv3-client", geo.Point{Lat: 50.11, Lon: 8.68})
+	proxy := addTarget(t, cons.Net(), "adv3-proxy", geo.Point{Lat: 48.86, Lon: 2.35})
+	inner := &ProxiedTool{Net: cons.Net(), Client: client, Proxy: proxy}
+	decoy := geo.Point{Lat: -33.87, Lon: 151.21}
+	adv := &AdversarialProxiedTool{Inner: inner, Decoy: &decoy}
+	samples := adv.MeasureAll(cons.Anchors()[:10], rand.New(rand.NewSource(10)))
+	if len(samples) != 10 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	for _, s := range samples {
+		if s.RTTms <= 0 {
+			t.Fatal("bad sample")
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,99 @@
+package measure
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/netsim"
+)
+
+// Batch runs the full proxied two-phase pipeline for many proxies
+// concurrently — the command-line tool "can process a list of proxies in
+// one batch" (§4.2). Concurrency is bounded both to be kind to the
+// landmarks (simultaneous measurements create the extra congestion that
+// Holterbach et al. warn invalidates results, §2) and to keep the
+// per-proxy random streams deterministic: each proxy gets its own seeded
+// generator, so results are identical regardless of scheduling.
+type Batch struct {
+	Cons   *atlas.Constellation
+	Client netsim.HostID
+	// Eta is the client-leg correction factor (DefaultEta when 0).
+	Eta float64
+	// Concurrency bounds parallel proxies (default 8).
+	Concurrency int
+	// Seed derives each proxy's measurement randomness.
+	Seed int64
+}
+
+// BatchResult is one proxy's outcome.
+type BatchResult struct {
+	Proxy  netsim.HostID
+	Result *Result
+	Err    error
+}
+
+func (b *Batch) concurrency() int {
+	if b.Concurrency < 1 {
+		return 8
+	}
+	return b.Concurrency
+}
+
+// Run measures every proxy and returns results in the input order. It
+// honors ctx cancellation: pending proxies are reported with ctx.Err().
+func (b *Batch) Run(ctx context.Context, proxies []netsim.HostID) []BatchResult {
+	out := make([]BatchResult, len(proxies))
+	sem := make(chan struct{}, b.concurrency())
+	var wg sync.WaitGroup
+	for i, p := range proxies {
+		out[i].Proxy = p
+		select {
+		case <-ctx.Done():
+			out[i].Err = ctx.Err()
+			continue
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(i int, p netsim.HostID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// Per-proxy deterministic stream: independent of scheduling.
+			rng := rand.New(rand.NewSource(b.Seed ^ int64(hashID(p))))
+			res, err := ProxiedTwoPhase(b.Cons, b.Client, p, b.Eta, rng)
+			out[i].Result = res
+			out[i].Err = err
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}
+
+// hashID is a small FNV-1a over the host ID.
+func hashID(id netsim.HostID) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Succeeded filters a batch down to the successful results, preserving
+// order.
+func Succeeded(results []BatchResult) []BatchResult {
+	out := make([]BatchResult, 0, len(results))
+	for _, r := range results {
+		if r.Err == nil && r.Result != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SortByProxy orders batch results by proxy ID.
+func SortByProxy(results []BatchResult) {
+	sort.Slice(results, func(i, j int) bool { return results[i].Proxy < results[j].Proxy })
+}

@@ -1,0 +1,62 @@
+package measure
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"activegeo/internal/geo"
+	"activegeo/internal/geoloc"
+	"activegeo/internal/netsim"
+)
+
+// wireMeasurement is the on-disk measurement format, shared with
+// cmd/geolocate's input format.
+type wireMeasurement struct {
+	Landmark string  `json:"landmark"`
+	Lat      float64 `json:"lat"`
+	Lon      float64 `json:"lon"`
+	RTTms    float64 `json:"rtt_ms"`
+}
+
+// WriteMeasurements serializes measurements as a JSON array in the
+// format cmd/geolocate consumes.
+func WriteMeasurements(w io.Writer, ms []geoloc.Measurement) error {
+	wire := make([]wireMeasurement, len(ms))
+	for i, m := range ms {
+		wire[i] = wireMeasurement{
+			Landmark: string(m.LandmarkID),
+			Lat:      m.Landmark.Lat,
+			Lon:      m.Landmark.Lon,
+			RTTms:    m.RTTms,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wire)
+}
+
+// ReadMeasurements parses a JSON measurement array, validating
+// coordinates and RTTs.
+func ReadMeasurements(r io.Reader) ([]geoloc.Measurement, error) {
+	var wire []wireMeasurement
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("measure: parsing measurements: %w", err)
+	}
+	ms := make([]geoloc.Measurement, 0, len(wire))
+	for i, w := range wire {
+		p := geo.Point{Lat: w.Lat, Lon: w.Lon}
+		if !p.Valid() {
+			return nil, fmt.Errorf("measure: measurement %d: invalid location %v", i, p)
+		}
+		if w.RTTms <= 0 {
+			return nil, fmt.Errorf("measure: measurement %d: non-positive RTT %f", i, w.RTTms)
+		}
+		ms = append(ms, geoloc.Measurement{
+			LandmarkID: netsim.HostID(w.Landmark),
+			Landmark:   p,
+			RTTms:      w.RTTms,
+		})
+	}
+	return ms, nil
+}

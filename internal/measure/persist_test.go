@@ -1,0 +1,72 @@
+package measure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"activegeo/internal/geo"
+	"activegeo/internal/geoloc"
+)
+
+func TestMeasurementsRoundTrip(t *testing.T) {
+	in := []geoloc.Measurement{
+		{LandmarkID: "fra", Landmark: geo.Point{Lat: 50.11, Lon: 8.68}, RTTms: 21.5},
+		{LandmarkID: "syd", Landmark: geo.Point{Lat: -33.87, Lon: 151.21}, RTTms: 310.25},
+	}
+	var buf bytes.Buffer
+	if err := WriteMeasurements(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMeasurements(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost measurements: %d", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("measurement %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestReadMeasurementsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"garbage", "not json"},
+		{"bad-lat", `[{"landmark":"a","lat":91,"lon":0,"rtt_ms":5}]`},
+		{"bad-rtt", `[{"landmark":"a","lat":0,"lon":0,"rtt_ms":0}]`},
+		{"negative-rtt", `[{"landmark":"a","lat":0,"lon":0,"rtt_ms":-3}]`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadMeasurements(strings.NewReader(c.json)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+	// Empty array is fine.
+	ms, err := ReadMeasurements(strings.NewReader("[]"))
+	if err != nil || len(ms) != 0 {
+		t.Errorf("empty array: %v, %v", ms, err)
+	}
+}
+
+func TestWireFormatMatchesGeolocateCmd(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteMeasurements(&buf, []geoloc.Measurement{
+		{LandmarkID: "x", Landmark: geo.Point{Lat: 1, Lon: 2}, RTTms: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"landmark"`, `"lat"`, `"lon"`, `"rtt_ms"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("wire format missing %s: %s", key, buf.String())
+		}
+	}
+}

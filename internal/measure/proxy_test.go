@@ -1,0 +1,156 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"activegeo/internal/algtest"
+	"activegeo/internal/geo"
+	"activegeo/internal/netsim"
+)
+
+func proxySetup(t testing.TB) (client, proxy netsim.HostID, net *netsim.Network) {
+	t.Helper()
+	cons, _ := algtest.Fixture(t)
+	net = cons.Net()
+	client = addTarget(t, net, "m-client-fra", geo.Point{Lat: 50.11, Lon: 8.68}) // Frankfurt, like the paper
+	proxy = addTarget(t, net, "m-proxy-lyon", geo.Point{Lat: 45.76, Lon: 4.84})  // Lyon, like Figure 12
+	return client, proxy, net
+}
+
+func TestProxiedToolAddsClientLeg(t *testing.T) {
+	cons, _ := algtest.Fixture(t)
+	client, proxy, net := proxySetup(t)
+	rng := rand.New(rand.NewSource(7))
+	pt := &ProxiedTool{Net: net, Client: client, Proxy: proxy}
+	lm := cons.Anchors()[0]
+
+	s, err := pt.Measure("", lm, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directBase, _ := net.BaseRTTMs(proxy, lm.Host.ID)
+	clientLegBase, _ := net.BaseRTTMs(client, proxy)
+	if s.RTTms < directBase+clientLegBase {
+		t.Errorf("proxied RTT %f less than the sum of its legs' floors %f", s.RTTms, directBase+clientLegBase)
+	}
+}
+
+func TestSelfPingIsRoughlyTwiceDirect(t *testing.T) {
+	client, proxy, net := proxySetup(t)
+	rng := rand.New(rand.NewSource(8))
+	pt := &ProxiedTool{Net: net, Client: client, Proxy: proxy, Attempts: 5}
+	self, err := pt.SelfPing(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := net.BaseRTTMs(client, proxy)
+	ratio := self / direct
+	if ratio < 1.9 || ratio > 3.0 {
+		t.Errorf("self-ping/direct = %f, want slightly above 2 (Fig 12)", ratio)
+	}
+}
+
+func TestCorrectForProxyRecoversDirectRTT(t *testing.T) {
+	cons, _ := algtest.Fixture(t)
+	client, proxy, net := proxySetup(t)
+	rng := rand.New(rand.NewSource(9))
+	pt := &ProxiedTool{Net: net, Client: client, Proxy: proxy, Attempts: 5}
+	self, err := pt.SelfPing(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var raw []Sample
+	for _, lm := range cons.Anchors()[:30] {
+		s, err := pt.Measure("", lm, rng)
+		if err != nil {
+			continue
+		}
+		raw = append(raw, s)
+	}
+	corrected := CorrectForProxy(raw, self, 0.49)
+	if len(corrected) != len(raw) {
+		t.Fatalf("dropped %d samples", len(raw)-len(corrected))
+	}
+	// Corrected RTTs should approximate the proxy→landmark RTT: compare
+	// against the base leg and require small relative error on average.
+	var relErr float64
+	for i, s := range corrected {
+		base, _ := net.BaseRTTMs(proxy, s.LandmarkID)
+		relErr += math.Abs(s.RTTms-base) / base
+		_ = i
+	}
+	relErr /= float64(len(corrected))
+	if relErr > 0.6 {
+		t.Errorf("mean relative error after correction = %f", relErr)
+	}
+	// And the correction must never produce a *lower* total error than
+	// leaving the client leg in. (Sanity: uncorrected is biased up.)
+	var rawErr float64
+	for _, s := range raw {
+		base, _ := net.BaseRTTMs(proxy, s.LandmarkID)
+		rawErr += math.Abs(s.RTTms-base) / base
+	}
+	rawErr /= float64(len(raw))
+	if relErr >= rawErr {
+		t.Errorf("correction did not reduce error: %f vs %f", relErr, rawErr)
+	}
+}
+
+func TestCorrectForProxyDropsNonPositive(t *testing.T) {
+	s := []Sample{{LandmarkID: "a", RTTms: 10}, {LandmarkID: "b", RTTms: 100}}
+	out := CorrectForProxy(s, 50, 0.49) // 10 - 24.5 < 0 → dropped
+	if len(out) != 1 || out[0].LandmarkID != "b" {
+		t.Errorf("got %v", out)
+	}
+	if math.Abs(out[0].RTTms-(100-24.5)) > 1e-9 {
+		t.Errorf("corrected RTT %f", out[0].RTTms)
+	}
+	// Zero eta uses the default.
+	out = CorrectForProxy([]Sample{{LandmarkID: "c", RTTms: 100}}, 100, 0)
+	if math.Abs(out[0].RTTms-(100-DefaultEta*100)) > 1e-9 {
+		t.Errorf("default eta not applied: %f", out[0].RTTms)
+	}
+}
+
+func TestEstimateEta(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var direct, indirect []float64
+	for i := 0; i < 120; i++ {
+		d := 5 + rng.Float64()*250
+		indirect = append(indirect, d/0.49+rng.NormFloat64()*2)
+		direct = append(direct, d)
+	}
+	eta, r2, err := EstimateEta(direct, indirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eta-0.49) > 0.02 {
+		t.Errorf("eta = %f, want ≈0.49", eta)
+	}
+	if r2 < 0.99 {
+		t.Errorf("R² = %f, want > 0.99 (Fig 13)", r2)
+	}
+	if _, _, err := EstimateEta([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+func TestProxiedTwoPhaseEndToEnd(t *testing.T) {
+	cons, _ := algtest.Fixture(t)
+	client, proxy, _ := proxySetup(t)
+	rng := rand.New(rand.NewSource(11))
+	res, err := ProxiedTwoPhase(cons, client, proxy, DefaultEta, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The proxy is in Lyon: continent must come out as Europe.
+	if res.Continent.String() != "Europe" {
+		t.Errorf("continent = %v", res.Continent)
+	}
+	if len(res.Phase2) < 10 {
+		t.Errorf("phase 2 has only %d samples", len(res.Phase2))
+	}
+}

@@ -1,0 +1,123 @@
+package measure
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestConnectRTTToLiveListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rtt, err := ConnectRTT(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > 2*time.Second {
+		t.Errorf("loopback RTT = %v", rtt)
+	}
+}
+
+func TestConnectRTTRefusedStillMeasures(t *testing.T) {
+	// Find a port that is definitely closed: open a listener, note the
+	// port, close it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rtt, err := ConnectRTT(ctx, addr)
+	if err != nil {
+		t.Fatalf("connection refused should still measure: %v", err)
+	}
+	if rtt <= 0 {
+		t.Errorf("RTT = %v", rtt)
+	}
+}
+
+func TestConnectRTTInvalidAddress(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := ConnectRTT(ctx, "256.256.256.256:80"); err == nil {
+		t.Error("invalid address should error")
+	}
+}
+
+func TestMinConnectRTT(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	best, err := MinConnectRTT(ctx, ln.Addr().String(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := ConnectRTT(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Min of five should not exceed a fresh single measurement by much.
+	if best > single*10 {
+		t.Errorf("min-of-5 %v wildly above single %v", best, single)
+	}
+}
+
+func TestMinConnectRTTAllFail(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 1*time.Second)
+	defer cancel()
+	if _, err := MinConnectRTT(ctx, "256.256.256.256:80", 2); err == nil {
+		t.Error("want error when every attempt fails")
+	}
+}
+
+func TestIsRefused(t *testing.T) {
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	_, err := net.DialTimeout("tcp", addr, time.Second)
+	if err == nil {
+		t.Skip("port unexpectedly open")
+	}
+	if !IsRefused(err) {
+		t.Errorf("IsRefused(%v) = false", err)
+	}
+	if IsRefused(fmt.Errorf("some other error")) {
+		t.Error("IsRefused on unrelated error")
+	}
+	if IsRefused(nil) {
+		t.Error("IsRefused(nil)")
+	}
+}

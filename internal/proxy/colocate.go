@@ -1,0 +1,95 @@
+package proxy
+
+import (
+	"math/rand"
+	"sort"
+
+	"activegeo/internal/netsim"
+)
+
+// CoLocationThresholdMs is the §8.1 heuristic: "some groups of proxies
+// (including proxies claimed to be in separate countries) show less than
+// 5 ms round-trip times among themselves, which practically guarantees
+// they are on the same local network."
+const CoLocationThresholdMs = 5.0
+
+// CoLocate measures round-trip times between every pair of the given
+// servers (through the network simulator) and clusters servers whose
+// mutual RTT is below thresholdMs (CoLocationThresholdMs when 0) into
+// groups, using single-linkage over the sub-threshold pairs. Groups of
+// one are omitted. Each measurement takes the minimum of k samples.
+func CoLocate(net *netsim.Network, servers []*Server, thresholdMs float64, k int, rng *rand.Rand) [][]*Server {
+	if thresholdMs <= 0 {
+		thresholdMs = CoLocationThresholdMs
+	}
+	if k < 1 {
+		k = 3
+	}
+	n := len(servers)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if find(i) == find(j) {
+				continue // already linked; skip the measurement
+			}
+			rtt, err := net.MinOfSamples(servers[i].Host.ID, servers[j].Host.ID, k, rng)
+			if err != nil {
+				continue
+			}
+			if rtt < thresholdMs {
+				union(i, j)
+			}
+		}
+	}
+
+	byRoot := map[int][]*Server{}
+	for i, s := range servers {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], s)
+	}
+	var groups [][]*Server
+	for _, g := range byRoot {
+		if len(g) < 2 {
+			continue
+		}
+		sort.Slice(g, func(a, b int) bool { return g[a].Host.ID < g[b].Host.ID })
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0].Host.ID < groups[b][0].Host.ID })
+	return groups
+}
+
+// CrossCountryCoLocations returns, for each co-located group, the set of
+// distinct *claimed* countries in it — the paper's smoking gun: proxies
+// claimed to be in separate countries sharing a local network.
+func CrossCountryCoLocations(groups [][]*Server) map[string][]string {
+	out := map[string][]string{}
+	for _, g := range groups {
+		seen := map[string]bool{}
+		for _, s := range g {
+			seen[s.ClaimedCountry] = true
+		}
+		if len(seen) < 2 {
+			continue
+		}
+		var claims []string
+		for c := range seen {
+			claims = append(claims, c)
+		}
+		sort.Strings(claims)
+		out[string(g[0].Host.ID)] = claims
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package proxy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCoLocateGroupsSameDataCenter(t *testing.T) {
+	f, net := buildTestFleet(t, 700)
+	// Use one provider's servers to keep the O(n²) mesh small.
+	servers := f.Provider("A").Servers
+	if len(servers) > 120 {
+		servers = servers[:120]
+	}
+	rng := rand.New(rand.NewSource(4))
+	groups := CoLocate(net, servers, 0, 3, rng)
+	if len(groups) == 0 {
+		t.Fatal("no co-located groups found")
+	}
+	// Every group must be physically one data center.
+	for _, g := range groups {
+		dc := g[0].Host.DataCenter
+		for _, s := range g[1:] {
+			if s.Host.DataCenter != dc {
+				t.Fatalf("group mixes data centers %s and %s", dc, s.Host.DataCenter)
+			}
+		}
+	}
+	// And the grouping should recover most same-DC pairs: count servers
+	// in DCs with ≥2 servers vs servers appearing in groups.
+	perDC := map[string]int{}
+	for _, s := range servers {
+		perDC[s.Host.DataCenter]++
+	}
+	expectGrouped := 0
+	for _, n := range perDC {
+		if n >= 2 {
+			expectGrouped += n
+		}
+	}
+	grouped := 0
+	for _, g := range groups {
+		grouped += len(g)
+	}
+	if grouped < expectGrouped/2 {
+		t.Errorf("grouped %d of %d expected same-DC servers", grouped, expectGrouped)
+	}
+}
+
+func TestCrossCountryCoLocations(t *testing.T) {
+	f, net := buildTestFleet(t, 700)
+	servers := f.Provider("A").Servers
+	if len(servers) > 120 {
+		servers = servers[:120]
+	}
+	rng := rand.New(rand.NewSource(5))
+	groups := CoLocate(net, servers, 0, 3, rng)
+	cross := CrossCountryCoLocations(groups)
+	// The paper's pilot observation: groups claimed in separate
+	// countries sit on the same LAN. With provider A's honesty, such
+	// groups must exist.
+	if len(cross) == 0 {
+		t.Error("no cross-country co-located groups; provider A should have them")
+	}
+	for key, claims := range cross {
+		if len(claims) < 2 {
+			t.Errorf("group %s has %d claimed countries, want ≥2", key, len(claims))
+		}
+	}
+}
+
+func TestCoLocateThresholdRespected(t *testing.T) {
+	f, net := buildTestFleet(t, 700)
+	servers := f.Provider("G").Servers
+	if len(servers) > 40 {
+		servers = servers[:40]
+	}
+	rng := rand.New(rand.NewSource(6))
+	// An absurdly low threshold groups nothing.
+	if groups := CoLocate(net, servers, 0.0001, 3, rng); len(groups) != 0 {
+		t.Errorf("0.1 µs threshold produced %d groups", len(groups))
+	}
+}

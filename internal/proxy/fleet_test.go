@@ -1,0 +1,250 @@
+package proxy
+
+import (
+	"math/rand"
+	"testing"
+
+	"activegeo/internal/datacenter"
+	"activegeo/internal/netsim"
+	"activegeo/internal/worldmap"
+)
+
+func buildTestFleet(t testing.TB, total int) (*Fleet, *netsim.Network) {
+	t.Helper()
+	net := netsim.New(42)
+	cfg := DefaultConfig()
+	cfg.TotalServers = total
+	f, err := BuildFleet(net, cfg, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, net
+}
+
+func TestFleetScale(t *testing.T) {
+	f, _ := buildTestFleet(t, 2269)
+	n := len(f.Servers())
+	if n < 2200 || n > 2340 {
+		t.Errorf("fleet has %d servers, want ≈2269", n)
+	}
+	if len(f.Providers) != 7 {
+		t.Errorf("providers = %d", len(f.Providers))
+	}
+}
+
+func TestClaimBreadthOrdering(t *testing.T) {
+	f, _ := buildTestFleet(t, 700)
+	a := f.Provider("A")
+	g := f.Provider("G")
+	if a == nil || g == nil {
+		t.Fatal("missing providers")
+	}
+	if len(a.Claims) <= len(g.Claims) {
+		t.Errorf("A claims %d countries, G claims %d; A should be the broadest", len(a.Claims), len(g.Claims))
+	}
+	if len(a.Claims) < 150 {
+		t.Errorf("A claims only %d countries; the paper's A claims all but seven sovereign states", len(a.Claims))
+	}
+	// Claims must be real countries.
+	for _, p := range f.Providers {
+		for _, c := range p.Claims {
+			if worldmap.ByCode(c) == nil {
+				t.Fatalf("%s claims unknown country %q", p.Name, c)
+			}
+		}
+	}
+}
+
+func TestServersGroundTruthConsistent(t *testing.T) {
+	f, _ := buildTestFleet(t, 700)
+	for _, s := range f.Servers() {
+		if s.Host.Country != s.TrueCountry {
+			t.Fatalf("%s: host country %q ≠ true country %q", s.Host.ID, s.Host.Country, s.TrueCountry)
+		}
+		dc, ok := datacenter.ByID(s.Host.DataCenter)
+		if !ok {
+			t.Fatalf("%s: unknown data center %q", s.Host.ID, s.Host.DataCenter)
+		}
+		if dc.Country != s.TrueCountry {
+			t.Fatalf("%s: DC in %q but true country %q", s.Host.ID, dc.Country, s.TrueCountry)
+		}
+		// The server's location must actually be in the true country
+		// (within the cap atlas).
+		if c := worldmap.ByCode(s.TrueCountry); !c.Contains(s.Host.Loc) {
+			t.Errorf("%s: located %v outside %s", s.Host.ID, s.Host.Loc, s.TrueCountry)
+		}
+	}
+}
+
+func TestDishonestyConcentratesInHostingCountries(t *testing.T) {
+	f, _ := buildTestFleet(t, 2269)
+	falseCount := 0
+	trueInHosting := 0
+	for _, s := range f.Servers() {
+		if s.ClaimedCountry != s.TrueCountry {
+			falseCount++
+			if hostingWeight[s.TrueCountry] > 0 {
+				trueInHosting++
+			}
+		}
+	}
+	total := len(f.Servers())
+	// Paper: at least a third of servers are not in the advertised
+	// country (one third definite + part of the uncertain third).
+	if frac := float64(falseCount) / float64(total); frac < 0.30 || frac < 0.25 {
+		t.Errorf("false-claim fraction = %f, want ≥ 0.30", frac)
+	}
+	if trueInHosting != falseCount {
+		t.Errorf("all dishonest servers should really sit in hosting countries: %d of %d", trueInHosting, falseCount)
+	}
+}
+
+func TestICMPAndTracerouteFractions(t *testing.T) {
+	f, _ := buildTestFleet(t, 2269)
+	blocked, drop := 0, 0
+	for _, s := range f.Servers() {
+		if s.Host.BlocksICMP {
+			blocked++
+		}
+		if s.Host.DropsTimeExceeded {
+			drop++
+		}
+	}
+	total := float64(len(f.Servers()))
+	if frac := float64(blocked) / total; frac < 0.85 || frac > 0.95 {
+		t.Errorf("ICMP-blocking fraction %f, want ≈0.90", frac)
+	}
+	if frac := float64(drop) / total; frac < 0.27 || frac > 0.40 {
+		t.Errorf("time-exceeded-dropping fraction %f, want ≈0.33", frac)
+	}
+	pingable := len(f.Pingable())
+	if pingable != len(f.Servers())-blocked {
+		t.Errorf("Pingable() = %d, want %d", pingable, len(f.Servers())-blocked)
+	}
+}
+
+func TestDataCenterGroups(t *testing.T) {
+	f, _ := buildTestFleet(t, 700)
+	groups := f.DataCenterGroups()
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+	for key, servers := range groups {
+		var first *Server
+		for _, s := range servers {
+			if first == nil {
+				first = s
+				continue
+			}
+			if s.Host.ASN != first.Host.ASN || s.Host.Prefix24 != first.Host.Prefix24 {
+				t.Fatalf("group %s mixes AS/prefix", key)
+			}
+			if s.Host.DataCenter != first.Host.DataCenter {
+				t.Fatalf("group %s mixes physical data centers", key)
+			}
+		}
+	}
+	// There must be at least one group of ≥ 5 servers (the Figure 16
+	// AS63128-style cluster).
+	big := 0
+	for _, servers := range groups {
+		if len(servers) >= 5 {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Error("no sizable same-DC group found")
+	}
+}
+
+func TestMarket(t *testing.T) {
+	m := Market(rand.New(rand.NewSource(1)))
+	if len(m) != 157 {
+		t.Fatalf("market size = %d", len(m))
+	}
+	studied := 0
+	for i := 1; i < len(m); i++ {
+		if m[i-1].Countries < m[i].Countries {
+			t.Fatal("market not sorted by claim breadth")
+		}
+	}
+	var aRank int
+	for i, e := range m {
+		if e.Studied {
+			studied++
+			if e.Name == "A" {
+				aRank = i
+			}
+		}
+	}
+	if studied != 7 {
+		t.Errorf("studied providers in market = %d", studied)
+	}
+	if aRank > 20 {
+		t.Errorf("provider A ranked %d; should be among the broadest claimants", aRank)
+	}
+}
+
+func TestResolveHostname(t *testing.T) {
+	f, _ := buildTestFleet(t, 700)
+	names := f.Hostnames()
+	if len(names) == 0 {
+		t.Fatal("no hostnames")
+	}
+	total := 0
+	for _, name := range names {
+		servers := f.ResolveHostname(name)
+		if len(servers) == 0 {
+			t.Fatalf("hostname %s resolves to nothing", name)
+		}
+		total += len(servers)
+		claimed := servers[0].ClaimedCountry
+		for _, s := range servers {
+			if s.Hostname != name {
+				t.Fatalf("wrong server for %s", name)
+			}
+			// One hostname = one advertised country (the name encodes it).
+			if s.ClaimedCountry != claimed {
+				t.Fatalf("hostname %s mixes claimed countries", name)
+			}
+		}
+	}
+	if total != len(f.Servers()) {
+		t.Errorf("hostnames cover %d servers of %d", total, len(f.Servers()))
+	}
+	// Round-robin: at least one hostname has multiple IPs.
+	multi := false
+	for _, name := range names {
+		if len(f.ResolveHostname(name)) > 1 {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		t.Error("no round-robin hostnames")
+	}
+	if f.ResolveHostname("no-such-name") != nil {
+		t.Error("unknown hostname should resolve to nil")
+	}
+}
+
+func TestBuildFleetValidation(t *testing.T) {
+	net := netsim.New(1)
+	if _, err := BuildFleet(net, Config{TotalServers: 2}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("tiny fleet should fail")
+	}
+}
+
+func TestFleetDeterministic(t *testing.T) {
+	f1, _ := buildTestFleet(t, 300)
+	f2, _ := buildTestFleet(t, 300)
+	s1, s2 := f1.Servers(), f2.Servers()
+	if len(s1) != len(s2) {
+		t.Fatal("different sizes")
+	}
+	for i := range s1 {
+		if s1[i].Host.ID != s2[i].Host.ID || s1[i].TrueCountry != s2[i].TrueCountry || s1[i].ClaimedCountry != s2[i].ClaimedCountry {
+			t.Fatalf("server %d differs between identically seeded builds", i)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package proxy
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Forwarder is a minimal real TCP forwarding proxy, protocol:
+//
+//	client → proxy:  "CONNECT host:port\n"
+//	proxy  → client: "OK\n"   (after the upstream TCP handshake) or
+//	                 "ERR <reason>\n"
+//
+// after which bytes are spliced in both directions. It exists so the
+// measurement pipeline can be exercised on a live network: the time from
+// writing the CONNECT line to reading "OK" is exactly the paper's
+// indirect round-trip time B (client↔proxy plus proxy↔target), and
+// connecting back to one's own listener through it is the §5.3
+// self-ping.
+type Forwarder struct {
+	// DialTimeout bounds upstream connection attempts (default 10s).
+	DialTimeout time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	ln     net.Listener
+}
+
+func (f *Forwarder) dialTimeout() time.Duration {
+	if f.DialTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return f.DialTimeout
+}
+
+// Serve accepts and handles connections on ln until Close or an accept
+// error. It always returns a non-nil error; after Close it returns
+// net.ErrClosed.
+func (f *Forwarder) Serve(ln net.Listener) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return net.ErrClosed
+	}
+	f.ln = ln
+	f.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go f.handle(conn)
+	}
+}
+
+// Close stops the forwarder's listener.
+func (f *Forwarder) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	if f.ln != nil {
+		return f.ln.Close()
+	}
+	return nil
+}
+
+func (f *Forwarder) handle(client net.Conn) {
+	defer client.Close()
+	_ = client.SetReadDeadline(time.Now().Add(f.dialTimeout()))
+	line, err := bufio.NewReader(client).ReadString('\n')
+	if err != nil {
+		return
+	}
+	_ = client.SetReadDeadline(time.Time{})
+	target, ok := parseConnect(line)
+	if !ok {
+		fmt.Fprintf(client, "ERR bad request\n")
+		return
+	}
+	upstream, err := net.DialTimeout("tcp", target, f.dialTimeout())
+	if err != nil {
+		fmt.Fprintf(client, "ERR %s\n", err)
+		return
+	}
+	defer upstream.Close()
+	if _, err := io.WriteString(client, "OK\n"); err != nil {
+		return
+	}
+	done := make(chan struct{}, 2)
+	go splice(upstream, client, done)
+	go splice(client, upstream, done)
+	<-done
+}
+
+func parseConnect(line string) (string, bool) {
+	line = strings.TrimSpace(line)
+	const prefix = "CONNECT "
+	if !strings.HasPrefix(line, prefix) {
+		return "", false
+	}
+	target := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	if _, _, err := net.SplitHostPort(target); err != nil {
+		return "", false
+	}
+	return target, true
+}
+
+func splice(dst io.WriteCloser, src io.Reader, done chan<- struct{}) {
+	_, _ = io.Copy(dst, src)
+	_ = dst.Close()
+	done <- struct{}{}
+}
+
+// ErrProxyRefused is returned when the proxy reports an upstream failure.
+var ErrProxyRefused = errors.New("proxy: upstream connect failed")
+
+// DialThrough connects to targetAddr through the forwarder at proxyAddr
+// and returns the spliced connection after the proxy reports success.
+func DialThrough(ctx context.Context, proxyAddr, targetAddr string) (net.Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", proxyAddr)
+	if err != nil {
+		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	if _, err := fmt.Fprintf(conn, "CONNECT %s\n", targetAddr); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !strings.HasPrefix(resp, "OK") {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %s", ErrProxyRefused, strings.TrimSpace(resp))
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// ConnectRTTThrough measures the indirect round-trip time to targetAddr
+// through the proxy: the time from sending the CONNECT request to
+// receiving the proxy's success response. This is the quantity the
+// paper calls B (Figure 12); subtract η times the self-ping to recover
+// the proxy↔target time.
+func ConnectRTTThrough(ctx context.Context, proxyAddr, targetAddr string) (time.Duration, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", proxyAddr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	start := time.Now()
+	if _, err := fmt.Fprintf(conn, "CONNECT %s\n", targetAddr); err != nil {
+		return 0, err
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if !strings.HasPrefix(resp, "OK") {
+		return 0, fmt.Errorf("%w: %s", ErrProxyRefused, strings.TrimSpace(resp))
+	}
+	return elapsed, nil
+}

@@ -1,0 +1,185 @@
+package proxy
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startEchoServer returns the address of a server that echoes one line.
+func startEchoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				line, err := bufio.NewReader(c).ReadString('\n')
+				if err != nil {
+					return
+				}
+				fmt.Fprintf(c, "echo: %s", line)
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// startForwarder returns a running forwarder's address.
+func startForwarder(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Forwarder{DialTimeout: 5 * time.Second}
+	go func() { _ = f.Serve(ln) }()
+	t.Cleanup(func() { f.Close() })
+	return ln.Addr().String()
+}
+
+func TestDialThroughSplicesTraffic(t *testing.T) {
+	target := startEchoServer(t)
+	proxyAddr := startForwarder(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := DialThrough(ctx, proxyAddr, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "hello through proxy\n"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "echo: hello through proxy\n" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestConnectRTTThrough(t *testing.T) {
+	target := startEchoServer(t)
+	proxyAddr := startForwarder(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rtt, err := ConnectRTTThrough(ctx, proxyAddr, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > 2*time.Second {
+		t.Errorf("indirect RTT = %v", rtt)
+	}
+}
+
+func TestSelfPingThroughProxy(t *testing.T) {
+	// The §5.3 maneuver on a real network: the client measures itself
+	// through the proxy by targeting its own listener.
+	self := startEchoServer(t)
+	proxyAddr := startForwarder(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rtt, err := ConnectRTTThrough(ctx, proxyAddr, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 {
+		t.Errorf("self-ping RTT = %v", rtt)
+	}
+}
+
+func TestProxyRefusesBadUpstream(t *testing.T) {
+	proxyAddr := startForwarder(t)
+	// A port that is closed.
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	dead := ln.Addr().String()
+	_ = ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := DialThrough(ctx, proxyAddr, dead); err == nil {
+		t.Error("want error for dead upstream")
+	}
+	if _, err := ConnectRTTThrough(ctx, proxyAddr, dead); err == nil {
+		t.Error("want error for dead upstream")
+	}
+}
+
+func TestProxyRejectsMalformedRequest(t *testing.T) {
+	proxyAddr := startForwarder(t)
+	conn, err := net.DialTimeout("tcp", proxyAddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GARBAGE\n")
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp, "ERR") {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestParseConnect(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"CONNECT 127.0.0.1:80\n", "127.0.0.1:80", true},
+		{"CONNECT example.com:443\n", "example.com:443", true},
+		{"CONNECT missing-port\n", "", false},
+		{"GET / HTTP/1.1\n", "", false},
+		{"\n", "", false},
+	}
+	for _, c := range cases {
+		got, ok := parseConnect(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("parseConnect(%q) = %q,%v want %q,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestForwarderCloseStopsServe(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Forwarder{}
+	errc := make(chan error, 1)
+	go func() { errc <- f.Serve(ln) }()
+	time.Sleep(50 * time.Millisecond)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("Serve returned nil after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("Serve did not stop after Close")
+	}
+	// Serving again after Close fails fast.
+	if err := f.Serve(ln); err == nil {
+		t.Error("Serve after Close should fail")
+	}
+}

@@ -1,0 +1,235 @@
+// Package spotter implements Spotter (Laki et al., INFOCOM 2011) as
+// described in §3.3: a single global probabilistic delay–distance model.
+//
+// From the pooled landmark-landmark calibration data, Spotter computes
+// the mean µ and standard deviation σ of distance as a function of
+// delay, fitting a cubic polynomial to each (constrained to be
+// increasing — the paper found anything more flexible overfits badly).
+// Each landmark measurement then induces a Gaussian ring-shaped
+// probability distribution over the Earth; rings are combined with
+// Bayes' rule and the prediction region is the smallest cell set
+// containing 95% of the posterior mass.
+package spotter
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/geo"
+	"activegeo/internal/geoloc"
+	"activegeo/internal/grid"
+	"activegeo/internal/mathx"
+)
+
+// MassFraction is the posterior mass the prediction region must cover.
+const MassFraction = 0.95
+
+// minSigmaKm keeps the Gaussian rings from degenerating at tiny delays.
+const minSigmaKm = 50.0
+
+// Model is the fitted global delay→distance distribution.
+type Model struct {
+	Mu    mathx.Cubic // mean distance (km) as a function of one-way ms
+	Sigma mathx.Cubic // standard deviation (km) as a function of one-way ms
+	// fit range, for clamping the polynomials outside the data.
+	minT, maxT float64
+	// sigmaMax caps the σ polynomial at the largest spread actually
+	// observed in a bin: an increasing cubic can overshoot badly toward
+	// the end of the fit range.
+	sigmaMax float64
+}
+
+// Fit builds the model from pooled (distance km, RTT ms) samples by
+// binning delays into quantile bins and fitting constrained cubics to
+// the per-bin mean and standard deviation of distance.
+func Fit(samples []mathx.XY) (*Model, error) {
+	if len(samples) < 20 {
+		return nil, mathx.ErrInsufficientData
+	}
+	type obs struct{ t, d float64 }
+	all := make([]obs, len(samples))
+	for i, s := range samples {
+		all[i] = obs{t: geo.OneWayMs(s.Y), d: s.X}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].t < all[j].t })
+
+	const bins = 24
+	per := len(all) / bins
+	if per < 3 {
+		return nil, mathx.ErrInsufficientData
+	}
+	var bt, bmu, bsd []float64
+	for b := 0; b < bins; b++ {
+		lo, hi := b*per, (b+1)*per
+		if b == bins-1 {
+			hi = len(all)
+		}
+		var ts, ds []float64
+		for _, o := range all[lo:hi] {
+			ts = append(ts, o.t)
+			ds = append(ds, o.d)
+		}
+		bt = append(bt, mathx.Mean(ts))
+		bmu = append(bmu, mathx.Mean(ds))
+		// Robust spread: the raw standard deviation is dominated by the
+		// congested tail (pairs with enormous delay inflation), and even
+		// the quartiles straddle the quality mixture. The Gaussian ring
+		// model describes the dominant mode, so the spread is estimated
+		// from the quartiles of the half of the bin closest to its
+		// median — the same pragmatism the paper applies when it
+		// constrains the fits to avoid "severe overfitting".
+		med := mathx.Quantile(ds, 0.5)
+		var core []float64
+		for _, d := range ds {
+			if d >= med-0.35*med-500 && d <= med+0.35*med+500 {
+				core = append(core, d)
+			}
+		}
+		if len(core) < 3 {
+			core = ds
+		}
+		sd := mathx.StdDev(core)
+		if sd < minSigmaKm {
+			sd = minSigmaKm
+		}
+		bsd = append(bsd, sd)
+	}
+	mu, err := mathx.FitCubicIncreasing(bt, bmu)
+	if err != nil {
+		return nil, fmt.Errorf("spotter: fitting µ: %w", err)
+	}
+	sigma, err := mathx.FitCubicIncreasing(bt, bsd)
+	if err != nil {
+		return nil, fmt.Errorf("spotter: fitting σ: %w", err)
+	}
+	sigmaMax := minSigmaKm
+	for _, v := range bsd {
+		if v > sigmaMax {
+			sigmaMax = v
+		}
+	}
+	return &Model{
+		Mu:       mu,
+		Sigma:    sigma,
+		minT:     all[0].t,
+		maxT:     all[len(all)-1].t,
+		sigmaMax: sigmaMax,
+	}, nil
+}
+
+// clampT keeps polynomial evaluation inside the calibrated delay range,
+// extending flat beyond it (cubics explode when extrapolated).
+func (m *Model) clampT(t float64) float64 {
+	if t < m.minT {
+		return m.minT
+	}
+	if t > m.maxT {
+		return m.maxT
+	}
+	return t
+}
+
+// MuKm returns the expected distance for a one-way delay.
+func (m *Model) MuKm(oneWayMs float64) float64 {
+	v := m.Mu.At(m.clampT(oneWayMs))
+	if v < 0 {
+		return 0
+	}
+	if v > geo.HalfEquatorKm {
+		return geo.HalfEquatorKm
+	}
+	return v
+}
+
+// SigmaKm returns the distance standard deviation for a one-way delay.
+func (m *Model) SigmaKm(oneWayMs float64) float64 {
+	v := m.Sigma.At(m.clampT(oneWayMs))
+	if v < minSigmaKm {
+		return minSigmaKm
+	}
+	if m.sigmaMax > 0 && v > m.sigmaMax {
+		return m.sigmaMax
+	}
+	return v
+}
+
+// Calibrate fits the global Spotter model from a constellation.
+func Calibrate(cons *atlas.Constellation) (*Model, error) {
+	return Fit(cons.Pooled())
+}
+
+// Spotter is the Bayesian multilateration algorithm.
+type Spotter struct {
+	env   *geoloc.Env
+	model *Model
+}
+
+// New builds a Spotter instance.
+func New(env *geoloc.Env, model *Model) *Spotter {
+	return &Spotter{env: env, model: model}
+}
+
+// Name implements geoloc.Algorithm.
+func (s *Spotter) Name() string { return "Spotter" }
+
+// Model returns the fitted delay model (used by the Hybrid and by the
+// figure generators).
+func (s *Spotter) Model() *Model { return s.model }
+
+// Locate implements geoloc.Algorithm: compute the log-posterior over
+// all land cells (uniform land prior) and return the smallest cell set
+// covering MassFraction of the mass.
+func (s *Spotter) Locate(ms []geoloc.Measurement) (*grid.Region, error) {
+	ms = geoloc.Collapse(ms)
+	if len(ms) == 0 {
+		return nil, geoloc.ErrNoMeasurements
+	}
+	g := s.env.Grid
+	land := s.env.Mask.LandRef()
+
+	type scored struct {
+		cell int
+		logp float64
+	}
+	cells := make([]scored, 0, land.Count())
+	land.Each(func(i int) {
+		p := g.Center(i)
+		lp := 0.0
+		for _, m := range ms {
+			d := geo.DistanceKm(m.Landmark, p)
+			t := m.OneWayMs()
+			mu, sig := s.model.MuKm(t), s.model.SigmaKm(t)
+			z := (d - mu) / sig
+			lp += -0.5*z*z - math.Log(sig)
+		}
+		cells = append(cells, scored{cell: i, logp: lp})
+	})
+	if len(cells) == 0 {
+		return g.NewRegion(), nil
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].logp > cells[j].logp })
+
+	// Convert to normalized masses relative to the best cell, weighting
+	// by cell area (the prior is uniform per km², not per cell).
+	best := cells[0].logp
+	var total float64
+	masses := make([]float64, len(cells))
+	for i, c := range cells {
+		masses[i] = math.Exp(c.logp-best) * g.CellArea(c.cell)
+		total += masses[i]
+	}
+	region := g.NewRegion()
+	var acc float64
+	for i, c := range cells {
+		region.Add(c.cell)
+		acc += masses[i]
+		if acc >= MassFraction*total {
+			break
+		}
+	}
+	return region, nil
+}
+
+var _ geoloc.Algorithm = (*Spotter)(nil)

@@ -1,0 +1,75 @@
+package svgmap
+
+import (
+	"strings"
+	"testing"
+
+	"activegeo/internal/geo"
+	"activegeo/internal/grid"
+)
+
+func TestNewContainsCountries(t *testing.T) {
+	m := New(800)
+	s := m.String()
+	if !strings.HasPrefix(s, `<svg xmlns=`) || !strings.HasSuffix(s, `</svg>`) {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(s, "<circle") < 200 {
+		t.Errorf("only %d circles; the country layer should contribute hundreds", strings.Count(s, "<circle"))
+	}
+	if !strings.Contains(s, `viewBox="0 0 800 400"`) {
+		t.Error("wrong viewBox")
+	}
+}
+
+func TestMinimumWidth(t *testing.T) {
+	m := New(10)
+	if !strings.Contains(m.String(), `viewBox="0 0 200 100"`) {
+		t.Error("minimum width not enforced")
+	}
+}
+
+func TestLayers(t *testing.T) {
+	m := New(400)
+	before := strings.Count(m.String(), "<circle")
+
+	m.AddDisk(geo.Cap{Center: geo.Point{Lat: 48.86, Lon: 2.35}, RadiusKm: 500}, "#123456")
+	if got := strings.Count(m.String(), "<circle"); got != before+1 {
+		t.Errorf("disk did not add one circle: %d → %d", before, got)
+	}
+	if !strings.Contains(m.String(), "#123456") {
+		t.Error("disk color missing")
+	}
+
+	g := grid.New(2.0)
+	r := g.CapRegion(geo.Cap{Center: geo.Point{Lat: 50, Lon: 10}, RadiusKm: 300})
+	m.AddRegion(r, "#ff0000")
+	if strings.Count(m.String(), "<rect") < r.Count() {
+		t.Errorf("region cells not drawn: %d rects for %d cells", strings.Count(m.String(), "<rect"), r.Count())
+	}
+
+	m.AddPoint(geo.Point{Lat: 0, Lon: 0}, "#000", `tar<get>"x"`)
+	s := m.String()
+	if !strings.Contains(s, "tar&lt;get&gt;") {
+		t.Error("label not escaped")
+	}
+	if strings.Contains(s, `<get>`) {
+		t.Error("raw markup leaked from label")
+	}
+}
+
+func TestProjection(t *testing.T) {
+	m := New(1000) // 1000x500
+	x, y := m.xy(geo.Point{Lat: 0, Lon: 0})
+	if x != 500 || y != 250 {
+		t.Errorf("origin projects to %.0f,%.0f", x, y)
+	}
+	x, y = m.xy(geo.Point{Lat: 90, Lon: -180})
+	if x != 0 || y != 0 {
+		t.Errorf("NW corner projects to %.0f,%.0f", x, y)
+	}
+	// 111.195 km of surface ≈ 1 degree ≈ height/180 px.
+	if px := m.kmToPx(111.195); px < 2.7 || px > 2.9 {
+		t.Errorf("kmToPx(1°) = %.2f px, want ≈2.78", px)
+	}
+}

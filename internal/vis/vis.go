@@ -1,0 +1,156 @@
+// Package vis renders world maps and prediction regions as text — the
+// library's stand-in for the paper's map figures, usable directly from
+// terminal tools (cmd/geolocate --map and the examples).
+//
+// The projection is equirectangular: longitude maps linearly to columns
+// and latitude to rows. Character cells are roughly twice as tall as
+// they are wide, so a canvas of width w uses w/4 rows for the 2:1
+// world aspect ratio.
+package vis
+
+import (
+	"strings"
+
+	"activegeo/internal/geo"
+	"activegeo/internal/grid"
+	"activegeo/internal/worldmap"
+)
+
+// Glyphs used by the base map and the standard marks.
+const (
+	GlyphWater  = ' '
+	GlyphLand   = '.'
+	GlyphRegion = '#'
+	GlyphPoint  = 'X'
+)
+
+// Canvas is a text world map.
+type Canvas struct {
+	width, height int
+	cells         [][]rune
+}
+
+// NewCanvas creates a canvas of the given character width (minimum 20)
+// with the land/water base layer drawn from the worldmap atlas.
+func NewCanvas(width int) *Canvas {
+	if width < 20 {
+		width = 20
+	}
+	height := width / 4
+	if height < 8 {
+		height = 8
+	}
+	c := &Canvas{width: width, height: height}
+	c.cells = make([][]rune, height)
+	for row := range c.cells {
+		c.cells[row] = make([]rune, width)
+		for col := range c.cells[row] {
+			if worldmap.OnLand(c.pointAt(row, col)) {
+				c.cells[row][col] = GlyphLand
+			} else {
+				c.cells[row][col] = GlyphWater
+			}
+		}
+	}
+	return c
+}
+
+// pointAt returns the geographic center of a character cell.
+func (c *Canvas) pointAt(row, col int) geo.Point {
+	lat := 90 - (float64(row)+0.5)*180/float64(c.height)
+	lon := -180 + (float64(col)+0.5)*360/float64(c.width)
+	return geo.Point{Lat: lat, Lon: lon}
+}
+
+// cellAt returns the character cell containing p.
+func (c *Canvas) cellAt(p geo.Point) (row, col int) {
+	p = p.Normalize()
+	row = int((90 - p.Lat) / 180 * float64(c.height))
+	if row >= c.height {
+		row = c.height - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	col = int((p.Lon + 180) / 360 * float64(c.width))
+	if col >= c.width {
+		col = c.width - 1
+	}
+	if col < 0 {
+		col = 0
+	}
+	return row, col
+}
+
+// MarkRegion draws every cell of the region with the glyph.
+func (c *Canvas) MarkRegion(r *grid.Region, glyph rune) {
+	// Sample the canvas rather than the region: a region cell can be
+	// smaller than a character cell and vice versa, so mark a character
+	// if its center's grid cell is in the region, and additionally mark
+	// the character under each region cell's center (so small regions
+	// never disappear).
+	g := r.Grid()
+	for row := 0; row < c.height; row++ {
+		for col := 0; col < c.width; col++ {
+			if r.Contains(g.CellAt(c.pointAt(row, col))) {
+				c.cells[row][col] = glyph
+			}
+		}
+	}
+	r.Each(func(i int) {
+		row, col := c.cellAt(g.Center(i))
+		c.cells[row][col] = glyph
+	})
+}
+
+// MarkPoint draws a single point with the glyph.
+func (c *Canvas) MarkPoint(p geo.Point, glyph rune) {
+	row, col := c.cellAt(p)
+	c.cells[row][col] = glyph
+}
+
+// String renders the canvas with a border.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	b.Grow((c.width + 3) * (c.height + 2))
+	b.WriteString("+" + strings.Repeat("-", c.width) + "+\n")
+	for _, row := range c.cells {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", c.width) + "+")
+	return b.String()
+}
+
+// RenderRegion is the one-call convenience: a world map with the region
+// and (optionally) the true location marked.
+func RenderRegion(r *grid.Region, width int, truth *geo.Point) string {
+	c := NewCanvas(width)
+	c.MarkRegion(r, GlyphRegion)
+	if truth != nil {
+		c.MarkPoint(*truth, GlyphPoint)
+	}
+	return c.String()
+}
+
+// CountryMap renders a world map where each land character is chosen by
+// the country it falls in — the primitive behind Figure 19-style
+// per-provider honesty maps. glyph receives the ISO code and returns the
+// character to draw; returning 0 keeps the plain land glyph.
+func CountryMap(width int, glyph func(code string) rune) string {
+	c := NewCanvas(width)
+	for row := 0; row < c.height; row++ {
+		for col := 0; col < c.width; col++ {
+			if c.cells[row][col] != GlyphLand {
+				continue
+			}
+			if country := worldmap.Locate(c.pointAt(row, col)); country != nil {
+				if g := glyph(country.Code); g != 0 {
+					c.cells[row][col] = g
+				}
+			}
+		}
+	}
+	return c.String()
+}

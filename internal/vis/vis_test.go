@@ -1,0 +1,132 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+
+	"activegeo/internal/geo"
+	"activegeo/internal/grid"
+)
+
+func TestCanvasBaseLayer(t *testing.T) {
+	c := NewCanvas(80)
+	s := c.String()
+	lines := strings.Split(s, "\n")
+	if len(lines) != 80/4+2 {
+		t.Fatalf("canvas has %d lines", len(lines))
+	}
+	for i, l := range lines {
+		if len([]rune(l)) != 82 {
+			t.Fatalf("line %d width %d", i, len([]rune(l)))
+		}
+	}
+	if !strings.ContainsRune(s, GlyphLand) {
+		t.Error("no land drawn")
+	}
+	if !strings.ContainsRune(s, GlyphWater) {
+		t.Error("no water drawn")
+	}
+	// Europe should be land, the mid-Pacific water.
+	row, col := c.cellAt(geo.Point{Lat: 50, Lon: 10})
+	if c.cells[row][col] != GlyphLand {
+		t.Error("central Europe not land")
+	}
+	row, col = c.cellAt(geo.Point{Lat: -40, Lon: -120})
+	if c.cells[row][col] != GlyphWater {
+		t.Error("south Pacific not water")
+	}
+}
+
+func TestMarkRegionAndPoint(t *testing.T) {
+	g := grid.New(2.0)
+	berlin := geo.Point{Lat: 52.52, Lon: 13.405}
+	r := g.CapRegion(geo.Cap{Center: berlin, RadiusKm: 400})
+
+	out := RenderRegion(r, 100, &berlin)
+	if !strings.ContainsRune(out, GlyphRegion) {
+		t.Error("region not drawn")
+	}
+	if !strings.ContainsRune(out, GlyphPoint) {
+		t.Error("truth mark not drawn")
+	}
+	// The marks are in the right part of the map: north of the equator
+	// row, east of the Greenwich column but in the western half of Asia.
+	c := NewCanvas(100)
+	c.MarkRegion(r, GlyphRegion)
+	for row := range c.cells {
+		for col, ch := range c.cells[row] {
+			if ch != GlyphRegion {
+				continue
+			}
+			p := c.pointAt(row, col)
+			if p.Lat < 40 || p.Lat > 65 || p.Lon < 0 || p.Lon > 30 {
+				t.Fatalf("region glyph at %v, far from Berlin", p)
+			}
+		}
+	}
+}
+
+func TestTinyRegionStillVisible(t *testing.T) {
+	g := grid.New(1.0)
+	r := g.NewRegion()
+	r.Add(g.CellAt(geo.Point{Lat: 1.35, Lon: 103.82})) // a single cell (Singapore)
+	c := NewCanvas(60)                                 // character cells 6°x7.5°: bigger than the region cell
+	c.MarkRegion(r, GlyphRegion)
+	found := false
+	for _, row := range c.cells {
+		for _, ch := range row {
+			if ch == GlyphRegion {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("single-cell region vanished from the map")
+	}
+}
+
+func TestCountryMap(t *testing.T) {
+	out := CountryMap(80, func(code string) rune {
+		if code == "us" {
+			return '@'
+		}
+		return 0
+	})
+	if !strings.ContainsRune(out, '@') {
+		t.Error("US not drawn")
+	}
+	if !strings.ContainsRune(out, GlyphLand) {
+		t.Error("other land should stay plain")
+	}
+	// The '@' glyphs should sit in the western hemisphere rows/cols.
+	c := NewCanvas(80)
+	lines := strings.Split(out, "\n")[1:] // skip border
+	for row, line := range lines {
+		for col, ch := range []rune(line) {
+			if ch != '@' || col == 0 {
+				continue
+			}
+			p := c.pointAt(row, col-1) // border offset
+			if p.Lon > -60 || p.Lat < 15 {
+				t.Fatalf("US glyph at %v", p)
+			}
+		}
+	}
+}
+
+func TestMinimumWidth(t *testing.T) {
+	c := NewCanvas(1)
+	if c.width < 20 || c.height < 8 {
+		t.Errorf("minimums not enforced: %dx%d", c.width, c.height)
+	}
+}
+
+func TestCellAtEdges(t *testing.T) {
+	c := NewCanvas(40)
+	for _, p := range []geo.Point{{Lat: 90, Lon: -180}, {Lat: -90, Lon: 180}, {Lat: 0, Lon: 0}} {
+		row, col := c.cellAt(p)
+		if row < 0 || row >= c.height || col < 0 || col >= c.width {
+			t.Errorf("cellAt(%v) = %d,%d out of bounds", p, row, col)
+		}
+	}
+}
