@@ -1,0 +1,37 @@
+# Build, test and benchmark targets for the activegeo repo.
+#
+#   make ci           vet + build + unit tests (the tier-1 gate)
+#   make race         full test suite under the race detector
+#   make bench-audit  serial-vs-parallel audit timing -> BENCH_audit.json
+
+GO ?= go
+
+.PHONY: all vet build test race ci bench-audit clean
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments package runs the full audit pipeline; under the race
+# detector on few cores it needs more than go test's 10m default.
+race:
+	$(GO) test -race -timeout 60m ./...
+
+ci: vet build test
+
+# Benchmark smoke: time the QuickConfig audit serially and with the
+# default worker pool, verify the verdict tallies are identical, and
+# record the numbers (plus the core count) in BENCH_audit.json.
+bench-audit:
+	$(GO) run ./cmd/benchaudit -out BENCH_audit.json
+
+clean:
+	rm -f BENCH_audit.json
+	$(GO) clean ./...

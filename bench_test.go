@@ -190,6 +190,35 @@ func BenchmarkFig17Assessment(b *testing.B) {
 	}
 }
 
+// BenchmarkAuditPipeline times the full §6 audit serially and with the
+// default worker pool. The verdicts are identical in both cases (and at
+// any other width): only wall-clock time varies with the worker count.
+func BenchmarkAuditPipeline(b *testing.B) {
+	lab := getLab(b)
+	origin := lab.Cfg.Concurrency
+	defer func() { lab.Cfg.Concurrency = origin }()
+	for _, variant := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			lab.Cfg.Concurrency = variant.workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lab.ResetAudit()
+				run, err := lab.Audit()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(run.Results)), "servers")
+			}
+		})
+	}
+}
+
 func BenchmarkFig18HonestyByCountry(b *testing.B) {
 	lab := getLab(b)
 	b.ResetTimer()

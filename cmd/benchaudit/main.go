@@ -1,0 +1,112 @@
+// Command benchaudit times the §6 audit pipeline serially and in
+// parallel on the same lab configuration, verifies the two runs produce
+// identical verdict tallies, and writes the numbers as JSON.
+//
+// Usage:
+//
+//	benchaudit [-scale quick|paper] [-out BENCH_audit.json]
+//
+// The speedup is bounded by the core count: on a single-core machine
+// serial and parallel times are expected to be roughly equal, and the
+// JSON records the core count so readers can interpret the ratio.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"activegeo/internal/assess"
+	"activegeo/internal/experiments"
+)
+
+type report struct {
+	Config           string  `json:"config"`
+	Servers          int     `json:"servers"`
+	Cores            int     `json:"cores"`
+	ParallelWorkers  int     `json:"parallel_workers"`
+	SerialMs         float64 `json:"serial_ms"`
+	ParallelMs       float64 `json:"parallel_ms"`
+	Speedup          float64 `json:"speedup"`
+	TalliesIdentical bool    `json:"tallies_identical"`
+	Credible         int     `json:"credible"`
+	Uncertain        int     `json:"uncertain"`
+	False            int     `json:"false"`
+}
+
+// timeAudit builds a fresh lab at the given concurrency and times one
+// full audit. A fresh lab per run keeps the comparison honest: nothing
+// is pre-warmed for the second configuration.
+func timeAudit(cfg experiments.Config, workers int) (time.Duration, assess.Tally, int, error) {
+	cfg.Concurrency = workers
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		return 0, assess.Tally{}, 0, err
+	}
+	start := time.Now()
+	run, err := lab.Audit()
+	if err != nil {
+		return 0, assess.Tally{}, 0, err
+	}
+	return time.Since(start), assess.Tabulate(run.Results), len(run.Results), nil
+}
+
+func main() {
+	scale := flag.String("scale", "quick", "audit scale: quick or paper")
+	out := flag.String("out", "BENCH_audit.json", "output JSON path")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickConfig()
+	case "paper":
+		cfg = experiments.PaperConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	serial, serialTally, servers, err := timeAudit(cfg, 1)
+	if err != nil {
+		log.Fatalf("serial audit: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "serial (1 worker):    %v over %d servers\n", serial.Round(time.Millisecond), servers)
+	parallel, parallelTally, _, err := timeAudit(cfg, workers)
+	if err != nil {
+		log.Fatalf("parallel audit: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "parallel (%d workers): %v\n", workers, parallel.Round(time.Millisecond))
+
+	identical := serialTally == parallelTally
+	if !identical {
+		log.Fatalf("determinism violation: serial tally %+v != parallel tally %+v", serialTally, parallelTally)
+	}
+
+	r := report{
+		Config:           *scale,
+		Servers:          servers,
+		Cores:            runtime.NumCPU(),
+		ParallelWorkers:  workers,
+		SerialMs:         float64(serial.Microseconds()) / 1000,
+		ParallelMs:       float64(parallel.Microseconds()) / 1000,
+		Speedup:          float64(serial) / float64(parallel),
+		TalliesIdentical: identical,
+		Credible:         serialTally.Credible,
+		Uncertain:        serialTally.Uncertain,
+		False:            serialTally.False,
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "speedup %.2fx on %d cores; tallies identical; wrote %s\n", r.Speedup, r.Cores, *out)
+}

@@ -4,12 +4,15 @@
 // Usage:
 //
 //	experiments [-scale quick|paper] [-only substring] [-csv dir]
+//	            [-concurrency N] [-telemetry] [-progress]
 //
 // The quick scale (default) runs the whole evaluation in a few minutes
 // at roughly a tenth of the paper's size; the paper scale uses 250
 // anchors and 2269 proxy servers and takes correspondingly longer.
 // With -csv, each figure's data series is also written as CSV for
-// replotting.
+// replotting. The pipelines are deterministic at any -concurrency
+// setting; -telemetry prints per-stage timings after the run and
+// -progress streams completion counts during it.
 package main
 
 import (
@@ -22,12 +25,16 @@ import (
 	"time"
 
 	"activegeo/internal/experiments"
+	"activegeo/internal/telemetry"
 )
 
 func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
 	only := flag.String("only", "", "run only experiments whose name contains this substring (e.g. 'Fig 17')")
 	csvDir := flag.String("csv", "", "also write each figure's data series as CSV into this directory")
+	concurrency := flag.Int("concurrency", 0, "worker pool size for the parallel pipelines (0 = GOMAXPROCS; results are identical at any setting)")
+	telFlag := flag.Bool("telemetry", false, "print per-stage timings and counters to stderr after the run")
+	progressFlag := flag.Bool("progress", false, "stream pipeline progress to stderr")
 	flag.Parse()
 
 	if *csvDir != "" {
@@ -45,6 +52,7 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q (want quick or paper)", *scale)
 	}
+	cfg.Concurrency = *concurrency
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "building lab (%d anchors, %d probes, %d servers)…\n",
@@ -52,6 +60,19 @@ func main() {
 	lab, err := experiments.NewLab(cfg)
 	if err != nil {
 		log.Fatalf("building lab: %v", err)
+	}
+	tel := telemetry.New()
+	lab.Telemetry = tel
+	if *progressFlag {
+		tel.OnProgress(func(p telemetry.Progress) {
+			step := p.Total / 20
+			if step < 1 {
+				step = 1
+			}
+			if p.Done%step == 0 || p.Done == p.Total {
+				fmt.Fprintf(os.Stderr, "  %s: %d/%d\n", p.Stage, p.Done, p.Total)
+			}
+		})
 	}
 	fmt.Fprintf(os.Stderr, "lab ready in %v\n", time.Since(start).Round(time.Millisecond))
 
@@ -170,6 +191,9 @@ func main() {
 		}
 		fmt.Println(strings.TrimRight(out, "\n"))
 		fmt.Fprintf(os.Stderr, "  (%s in %v)\n", e.name, time.Since(t0).Round(time.Millisecond))
+	}
+	if *telFlag {
+		fmt.Fprint(os.Stderr, tel.Render())
 	}
 	if failures > 0 {
 		os.Exit(1)

@@ -4,6 +4,12 @@
 // Usage:
 //
 //	vpnaudit [-scale quick|paper] [-provider A] [-v]
+//	         [-concurrency N] [-telemetry] [-progress]
+//
+// Results are identical at every -concurrency setting (all randomness is
+// derived per server); the flag only trades wall-clock time for cores.
+// -telemetry prints per-stage wall/CPU timings and counters to stderr
+// after the run; -progress streams completion counts while it runs.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"activegeo/internal/assess"
 	"activegeo/internal/experiments"
+	"activegeo/internal/telemetry"
 	"activegeo/internal/vis"
 )
 
@@ -66,6 +73,9 @@ func main() {
 	provider := flag.String("provider", "", "restrict per-server output to one provider (A–G)")
 	verbose := flag.Bool("v", false, "print one line per server")
 	maps := flag.Bool("maps", false, "draw a Figure 19-style honesty world map per provider")
+	concurrency := flag.Int("concurrency", 0, "worker pool size for the parallel pipelines (0 = GOMAXPROCS; results are identical at any setting)")
+	telFlag := flag.Bool("telemetry", false, "print per-stage timings and counters to stderr after the run")
+	progressFlag := flag.Bool("progress", false, "stream pipeline progress to stderr")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -77,17 +87,25 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scale)
 	}
+	cfg.Concurrency = *concurrency
 
 	start := time.Now()
 	lab, err := experiments.NewLab(cfg)
 	if err != nil {
 		log.Fatalf("building lab: %v", err)
 	}
+	tel := telemetry.New()
+	lab.Telemetry = tel
+	if *progressFlag {
+		tel.OnProgress(progressPrinter())
+	}
 	run, err := lab.Audit()
 	if err != nil {
 		log.Fatalf("audit: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "audited %d servers in %v\n", len(run.Results), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "audited %d servers in %v (%d measure / %d locate failures)\n",
+		len(run.Results), time.Since(start).Round(time.Millisecond),
+		run.MeasureFailures, run.LocateFailures)
 
 	fig17, err := lab.Fig17Assessment()
 	if err != nil {
@@ -123,6 +141,25 @@ func main() {
 			}
 			fmt.Printf("  %-14s provider %s  claimed %s  verdict %-9s probable %s%s\n",
 				r.ServerID, r.Provider, r.ClaimedCountry, r.Verdict, r.ProbableCountry, extra)
+		}
+	}
+
+	if *telFlag {
+		fmt.Fprint(os.Stderr, tel.Render())
+	}
+}
+
+// progressPrinter returns a telemetry progress callback that prints a
+// throttled line per stage: roughly every 5% of the total, and always
+// the final event.
+func progressPrinter() func(telemetry.Progress) {
+	return func(p telemetry.Progress) {
+		step := p.Total / 20
+		if step < 1 {
+			step = 1
+		}
+		if p.Done%step == 0 || p.Done == p.Total {
+			fmt.Fprintf(os.Stderr, "  %s: %d/%d\n", p.Stage, p.Done, p.Total)
 		}
 	}
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"activegeo/internal/assess"
 	"activegeo/internal/datacenter"
@@ -12,6 +14,7 @@ import (
 	"activegeo/internal/ipdb"
 	"activegeo/internal/mathx"
 	"activegeo/internal/measure"
+	"activegeo/internal/netsim"
 	"activegeo/internal/proxy"
 	"activegeo/internal/worldmap"
 )
@@ -25,24 +28,40 @@ type Fig13Result struct {
 
 // Fig13Eta estimates η from the pingable subset of the fleet: direct
 // pings from the client to each proxy, against self-pings through it.
+// Each proxy draws from its own seeded stream, so the calibration is
+// identical at any concurrency and in any fleet order.
 func (l *Lab) Fig13Eta() (*Fig13Result, error) {
-	rng := l.rng(13)
-	var direct, indirect []float64
-	for _, s := range l.Fleet.Pingable() {
+	pingable := l.Fleet.Pingable()
+	type etaPair struct {
+		direct, indirect float64
+		ok               bool
+	}
+	pairs := make([]etaPair, len(pingable))
+	span := l.Telemetry.StartStage("fig13.measure")
+	parallelFor(len(pingable), l.Concurrency(), func(i int) {
+		s := pingable[i]
+		rng := l.rngFor(13, s.Host.ID)
 		// Direct and indirect measurements both take min-of-8 samples:
 		// jitter must be suppressed on both axes, or the regression's R²
 		// reflects queueing noise rather than the leg relationship.
 		d, err := l.Net.MinOfSamples(l.Client, s.Host.ID, 8, rng)
 		if err != nil {
-			continue
+			return
 		}
 		pt := &measure.ProxiedTool{Net: l.Net, Client: l.Client, Proxy: s.Host.ID, Attempts: 8}
-		i, err := pt.SelfPing(rng)
+		ind, err := pt.SelfPing(rng)
 		if err != nil {
-			continue
+			return
 		}
-		direct = append(direct, d)
-		indirect = append(indirect, i)
+		pairs[i] = etaPair{direct: d, indirect: ind, ok: true}
+	})
+	span.End()
+	var direct, indirect []float64
+	for _, p := range pairs {
+		if p.ok {
+			direct = append(direct, p.direct)
+			indirect = append(indirect, p.indirect)
+		}
 	}
 	if len(direct) < 3 {
 		return nil, fmt.Errorf("experiments: only %d pingable proxies", len(direct))
@@ -81,6 +100,21 @@ func (r *Fig14Result) Render() string {
 	return b.String()
 }
 
+// Audit pipeline stage names, as recorded in AuditRun.Errors and the
+// telemetry collector.
+const (
+	StageMeasure = "measure"
+	StageLocate  = "locate"
+)
+
+// ServerError records why one server produced no prediction region: its
+// measurement failed outright (or yielded too few usable samples), or
+// CBG++ localization failed on the measurements it did produce.
+type ServerError struct {
+	Stage string // StageMeasure or StageLocate
+	Err   error
+}
+
 // AuditRun is the memoized output of the full §6 pipeline.
 type AuditRun struct {
 	Results []*assess.Result
@@ -90,40 +124,117 @@ type AuditRun struct {
 	// data-center check; ReclassifiedByGroup from the AS//24 check.
 	ReclassifiedByDC    int
 	ReclassifiedByGroup int
+
+	// Errors maps server IDs to the reason the pipeline produced no
+	// region for them. Such servers are assessed against an empty
+	// region (verdict uncertain), but the Figure 17 tallies can now
+	// distinguish "measured and uncertain" from "never measured".
+	Errors map[string]ServerError
+	// MeasureFailures and LocateFailures are the per-stage aggregate
+	// counts behind Errors.
+	MeasureFailures int
+	LocateFailures  int
 }
 
 // Audit runs (once) the full pipeline: for every server, self-ping,
 // two-phase measurement through the proxy with the CLI tool, η
 // correction, CBG++ localization, claim assessment, then data-center and
 // metadata disambiguation.
+//
+// The pipeline is deterministic AND parallel: the measurement phase runs
+// through measure.Batch and the localization+assessment phase on a
+// bounded worker pool, with every server drawing from its own stream
+// seeded by (lab seed, server ID) and results merged in fleet order. A
+// serial run (Concurrency: 1) and an N-worker run produce byte-identical
+// verdicts; concurrency changes only the wall-clock time.
 func (l *Lab) Audit() (*AuditRun, error) {
 	if l.audit != nil {
 		return l.audit, nil
 	}
-	rng := l.rng(17)
-	run := &AuditRun{byServer: map[string]*assess.Result{}}
+	tel := l.Telemetry
+	servers := l.Fleet.Servers()
+	run := &AuditRun{
+		byServer: make(map[string]*assess.Result, len(servers)),
+		Errors:   map[string]ServerError{},
+	}
 
-	for _, s := range l.Fleet.Servers() {
-		res, err := measure.ProxiedTwoPhase(l.Cons, l.Client, s.Host.ID, measure.DefaultEta, rng)
-		var region = l.Env.Grid.NewRegion()
-		if err == nil {
-			ms := res.Measurements()
-			if len(ms) >= 4 {
-				if r2, lerr := l.CBGpp.Locate(ms); lerr == nil {
-					region = r2
+	// Stage 1: two-phase measurement through every proxy, batched.
+	span := tel.StartStage("audit.measure")
+	proxies := make([]netsim.HostID, len(servers))
+	for i, s := range servers {
+		proxies[i] = s.Host.ID
+	}
+	batch := &measure.Batch{
+		Cons:        l.Cons,
+		Client:      l.Client,
+		Eta:         measure.DefaultEta,
+		Concurrency: l.Concurrency(),
+		Seed:        l.streamSeed(17),
+		OnProgress: func(done, total int) {
+			tel.Progress("audit.measure", done, total)
+		},
+	}
+	measured := batch.Run(context.Background(), proxies)
+	span.End()
+
+	// Stage 2: CBG++ localization + claim assessment, worker pool with
+	// per-index slots merged in fleet order.
+	span = tel.StartStage("audit.locate")
+	assessed := make([]*assess.Result, len(servers))
+	serverErrs := make([]*ServerError, len(servers))
+	var located int64
+	parallelFor(len(servers), l.Concurrency(), func(i int) {
+		s := servers[i]
+		region := l.Env.Grid.NewRegion()
+		switch {
+		case measured[i].Err != nil:
+			serverErrs[i] = &ServerError{Stage: StageMeasure, Err: measured[i].Err}
+		default:
+			ms := measured[i].Result.Measurements()
+			if len(ms) < 4 {
+				serverErrs[i] = &ServerError{
+					Stage: StageMeasure,
+					Err:   fmt.Errorf("experiments: only %d usable measurements (need 4)", len(ms)),
 				}
+			} else if r2, lerr := l.CBGpp.Locate(ms); lerr != nil {
+				serverErrs[i] = &ServerError{Stage: StageLocate, Err: lerr}
+			} else {
+				region = r2
 			}
 		}
-		a := assess.Assess(l.Env.Mask, region, string(s.Host.ID), s.Provider, s.ClaimedCountry)
+		assessed[i] = assess.Assess(l.Env.Mask, region, string(s.Host.ID), s.Provider, s.ClaimedCountry)
+		tel.Progress("audit.locate", int(atomic.AddInt64(&located, 1)), len(servers))
+	})
+	span.End()
+
+	for i, a := range assessed {
+		if e := serverErrs[i]; e != nil {
+			run.Errors[a.ServerID] = *e
+			if e.Stage == StageMeasure {
+				run.MeasureFailures++
+			} else {
+				run.LocateFailures++
+			}
+		}
 		if a.VerdictRaw == assess.Uncertain && a.Verdict != assess.Uncertain {
 			run.ReclassifiedByDC++
 		}
 		run.Results = append(run.Results, a)
-		run.byServer[string(s.Host.ID)] = a
+		run.byServer[a.ServerID] = a
 	}
 
-	// Figure 16: metadata disambiguation over provider/AS//24 groups.
-	for _, group := range l.Fleet.DataCenterGroups() {
+	// Stage 3 — Figure 16: metadata disambiguation over provider/AS//24
+	// groups. Groups are disjoint, so traversal order cannot change the
+	// outcome; keys are still sorted for a stable telemetry trace.
+	span = tel.StartStage("audit.disambiguate")
+	groups := l.Fleet.DataCenterGroups()
+	keys := make([]string, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		group := groups[key]
 		if len(group) < 2 {
 			continue
 		}
@@ -137,6 +248,13 @@ func (l *Lab) Audit() (*AuditRun, error) {
 		assess.DisambiguateGroup(members)
 		run.ReclassifiedByGroup += before - countUncertain(members)
 	}
+	span.End()
+
+	tel.Add("audit.servers", int64(len(servers)))
+	tel.Add("audit.failures.measure", int64(run.MeasureFailures))
+	tel.Add("audit.failures.locate", int64(run.LocateFailures))
+	tel.Add("audit.reclassified.dc", int64(run.ReclassifiedByDC))
+	tel.Add("audit.reclassified.group", int64(run.ReclassifiedByGroup))
 	l.audit = run
 	return run, nil
 }
@@ -156,8 +274,13 @@ type Fig17Result struct {
 	Tally               assess.Tally
 	ReclassifiedByDC    int
 	ReclassifiedByGroup int
-	TopClaimed          []assess.CountryBar // countries by claimed count
-	TopProbable         []assess.CountryBar // countries by probable (measured) count
+	// MeasureFailures/LocateFailures split the uncertain verdicts that
+	// stem from pipeline failures (no region at all) from genuinely
+	// measured-but-ambiguous servers.
+	MeasureFailures int
+	LocateFailures  int
+	TopClaimed      []assess.CountryBar // countries by claimed count
+	TopProbable     []assess.CountryBar // countries by probable (measured) count
 }
 
 // Fig17Assessment tabulates the audit.
@@ -170,6 +293,8 @@ func (l *Lab) Fig17Assessment() (*Fig17Result, error) {
 		Tally:               assess.Tabulate(run.Results),
 		ReclassifiedByDC:    run.ReclassifiedByDC,
 		ReclassifiedByGroup: run.ReclassifiedByGroup,
+		MeasureFailures:     run.MeasureFailures,
+		LocateFailures:      run.LocateFailures,
 		TopClaimed: assess.CountryBreakdown(run.Results, func(r *assess.Result) string {
 			return r.ClaimedCountry
 		}),
@@ -190,6 +315,8 @@ func (r *Fig17Result) Render() string {
 		t.FalseOffContinent, t.UncertainSameCont)
 	fmt.Fprintf(&b, "  reclassified: %d by data centers, %d by AS//24 groups (paper: 353 total)\n",
 		r.ReclassifiedByDC, r.ReclassifiedByGroup)
+	fmt.Fprintf(&b, "  never measured (pipeline failures): %d measurement, %d localization — the rest of the uncertain verdicts were measured but ambiguous\n",
+		r.MeasureFailures, r.LocateFailures)
 	fmt.Fprintf(&b, "  top claimed countries:  %s\n", renderBars(r.TopClaimed, 10))
 	fmt.Fprintf(&b, "  top probable countries: %s\n", renderBars(r.TopProbable, 10))
 	return b.String()
@@ -353,9 +480,9 @@ func (l *Lab) Fig21Comparison() ([]Fig21Row, error) {
 		agreeByProv[a.Provider] = a
 	}
 
-	rng := l.rng(21)
 	checker := &iclab.Checker{}
 	var rows []Fig21Row
+	span := l.Telemetry.StartStage("fig21.iclab")
 	for _, p := range l.Fleet.Providers {
 		row := Fig21Row{Provider: p.Name, Databases: map[string]float64{}, ProviderHonesty: p.Honesty}
 		if a, ok := agreeByProv[p.Name]; ok {
@@ -364,13 +491,26 @@ func (l *Lab) Fig21Comparison() ([]Fig21Row, error) {
 		}
 		// ICLab: re-measure through each proxy (the checker consumes raw
 		// indirect measurements; its speed limit absorbs the extra leg).
+		// The re-measurement runs through the deterministic batch: each
+		// proxy's stream depends only on (seed, proxy ID), not on its
+		// position in the provider's roster.
+		proxies := make([]netsim.HostID, len(p.Servers))
+		for i, s := range p.Servers {
+			proxies[i] = s.Host.ID
+		}
+		batch := &measure.Batch{
+			Cons:        l.Cons,
+			Client:      l.Client,
+			Eta:         measure.DefaultEta,
+			Concurrency: l.Concurrency(),
+			Seed:        l.streamSeed(21),
+		}
 		accepted, checked := 0, 0
-		for _, s := range p.Servers {
-			res, err := measure.ProxiedTwoPhase(l.Cons, l.Client, s.Host.ID, measure.DefaultEta, rng)
-			if err != nil {
+		for i, br := range batch.Run(context.Background(), proxies) {
+			if br.Err != nil {
 				continue
 			}
-			v, err := checker.Check(s.ClaimedCountry, res.Measurements())
+			v, err := checker.Check(p.Servers[i].ClaimedCountry, br.Result.Measurements())
 			if err != nil {
 				continue
 			}
@@ -387,6 +527,7 @@ func (l *Lab) Fig21Comparison() ([]Fig21Row, error) {
 		}
 		rows = append(rows, row)
 	}
+	span.End()
 	return rows, nil
 }
 

@@ -21,10 +21,12 @@ import (
 	"activegeo/internal/geo"
 	"activegeo/internal/geoloc"
 	"activegeo/internal/hybrid"
+	"activegeo/internal/measure"
 	"activegeo/internal/netsim"
 	"activegeo/internal/octant"
 	"activegeo/internal/proxy"
 	"activegeo/internal/spotter"
+	"activegeo/internal/telemetry"
 )
 
 // Config sizes a Lab.
@@ -36,6 +38,13 @@ type Config struct {
 	FleetTotal int
 	Volunteers int
 	MTurkers   int
+	// Concurrency bounds the worker pools of the parallel pipelines
+	// (audit measurement, localization+assessment, crowd validation).
+	// 0 means GOMAXPROCS. Results are identical at every setting: all
+	// randomness comes from per-entity streams derived from Seed and
+	// the entity's host ID, never from a generator shared across
+	// workers, so concurrency changes only wall-clock time.
+	Concurrency int
 }
 
 // PaperConfig reproduces the paper's scale: 250 anchors, ~800 stable
@@ -84,6 +93,11 @@ type Lab struct {
 	Spotter *spotter.Spotter
 	Hybrid  *hybrid.Hybrid
 	CBGpp   *cbgpp.CBGPP
+
+	// Telemetry, when non-nil, receives stage timings, counters and
+	// progress events from the pipelines (a nil collector is valid and
+	// ignored — see internal/telemetry).
+	Telemetry *telemetry.Collector
 
 	// Memoized audit results (Figure 17 pipeline).
 	audit *AuditRun
@@ -174,8 +188,29 @@ func (l *Lab) Algorithms() []geoloc.Algorithm {
 
 // rng returns a fresh deterministic stream for an experiment, decoupled
 // from construction randomness so experiments can run in any order.
+// It is only suitable for serial single-consumer use; parallel stages
+// must use rngFor so every entity gets its own stream.
 func (l *Lab) rng(salt int64) *rand.Rand {
-	return rand.New(rand.NewSource(l.Cfg.Seed*1000003 + salt))
+	return rand.New(rand.NewSource(l.streamSeed(salt)))
+}
+
+// streamSeed is the base seed of an experiment's randomness — the same
+// value rng(salt) seeds its serial generator with, and the base from
+// which rngFor and measure.Batch derive per-entity streams.
+func (l *Lab) streamSeed(salt int64) int64 {
+	return l.Cfg.Seed*1000003 + salt
+}
+
+// rngFor returns the deterministic random stream for one entity (a
+// proxy server, crowd host or anchor) within the experiment identified
+// by salt. The stream is a pure function of (lab seed, salt, host ID):
+// two runs — serial or parallel, in any fleet order — draw identical
+// noise for the same entity. Sharing one *rand.Rand across goroutines
+// is forbidden: math/rand sources are not safe for concurrent use, and
+// even a locked shared stream would make results depend on scheduling
+// order.
+func (l *Lab) rngFor(salt int64, id netsim.HostID) *rand.Rand {
+	return rand.New(rand.NewSource(measure.StreamSeed(l.streamSeed(salt), id)))
 }
 
 // ResetAudit drops the memoized audit so the full pipeline can be

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Concurrency resolves the lab's worker count for parallel stages:
+// Cfg.Concurrency when positive, else GOMAXPROCS.
+func (l *Lab) Concurrency() int {
+	if l.Cfg.Concurrency > 0 {
+		return l.Cfg.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on at most workers
+// goroutines and returns when all calls have completed. Work is handed
+// out by an atomic counter, so fn must write its result into a
+// per-index slot and must not rely on call order: determinism comes
+// from per-entity random streams (rngFor), never from scheduling. With
+// workers ≤ 1 the calls run inline in index order — the serial
+// reference the determinism tests compare the parallel runs against.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

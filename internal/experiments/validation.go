@@ -85,7 +85,6 @@ type Fig4Result struct {
 // Fig4ToolValidation compares the CLI tool with the web tool on Linux
 // from a host in a known location.
 func (l *Lab) Fig4ToolValidation() (*Fig4Result, error) {
-	rng := l.rng(4)
 	from := netsim.HostID("fig4-client")
 	if l.Net.Host(from) == nil {
 		if err := l.Net.AddHost(&netsim.Host{ID: from, Loc: geo.Point{Lat: 48.86, Lon: 2.35}}); err != nil {
@@ -95,23 +94,49 @@ func (l *Lab) Fig4ToolValidation() (*Fig4Result, error) {
 	cli := &measure.CLITool{Net: l.Net}
 	web := &measure.WebTool{Net: l.Net, OS: measure.Linux}
 
-	var x1, y1, x2, y2, xc, yc []float64
-	for _, lm := range l.Cons.Anchors() {
+	// One stream per anchor, CLI drawn before web: both samples are a
+	// pure function of (seed, anchor ID), so worker scheduling cannot
+	// change them and the regression is identical at any concurrency.
+	anchors := l.Cons.Anchors()
+	type fig4Slot struct {
+		base   float64
+		cliRTT float64
+		cliOK  bool
+		web    measure.Sample
+		webOK  bool
+	}
+	slots := make([]fig4Slot, len(anchors))
+	span := l.Telemetry.StartStage("fig4.measure")
+	parallelFor(len(anchors), l.Concurrency(), func(i int) {
+		lm := anchors[i]
 		base, err := l.Net.BaseRTTMs(from, lm.Host.ID)
 		if err != nil {
-			continue
+			return
 		}
+		slots[i].base = base
+		rng := l.rngFor(4, lm.Host.ID)
 		if s, err := cli.Measure(from, lm, rng); err == nil {
-			xc, yc = append(xc, base), append(yc, s.RTTms)
+			slots[i].cliRTT, slots[i].cliOK = s.RTTms, true
 		}
-		s, err := web.Measure(from, lm, rng)
-		if err != nil {
+		if s, err := web.Measure(from, lm, rng); err == nil {
+			slots[i].web, slots[i].webOK = s, true
+		}
+	})
+	span.End()
+
+	var x1, y1, x2, y2, xc, yc []float64
+	for i := range slots {
+		sl := &slots[i]
+		if sl.cliOK {
+			xc, yc = append(xc, sl.base), append(yc, sl.cliRTT)
+		}
+		if !sl.webOK {
 			continue
 		}
-		if s.Trips == 2 {
-			x2, y2 = append(x2, base), append(y2, s.RTTms)
+		if sl.web.Trips == 2 {
+			x2, y2 = append(x2, sl.base), append(y2, sl.web.RTTms)
 		} else {
-			x1, y1 = append(x1, base), append(y1, s.RTTms)
+			x1, y1 = append(x1, sl.base), append(y1, sl.web.RTTms)
 		}
 	}
 	l1ci, err := mathx.FitLineCI(x1, y1)
@@ -196,7 +221,6 @@ type Fig5Row struct {
 // Fig5Windows reproduces Figures 5–6: the web tool under Windows
 // browsers, with high outliers split out.
 func (l *Lab) Fig5Windows() ([]Fig5Row, error) {
-	rng := l.rng(5)
 	from := netsim.HostID("fig5-client")
 	if l.Net.Host(from) == nil {
 		if err := l.Net.AddHost(&netsim.Host{ID: from, Loc: geo.Point{Lat: 48.86, Lon: 2.35}}); err != nil {
@@ -208,34 +232,55 @@ func (l *Lab) Fig5Windows() ([]Fig5Row, error) {
 		b    measure.Browser
 	}{{"Chrome", measure.Chrome}, {"Firefox", measure.Firefox}, {"Edge", measure.Edge}}
 
+	anchors := l.Cons.Anchors()
+	const rounds = 2
+	span := l.Telemetry.StartStage("fig5.measure")
 	var rows []Fig5Row
-	for _, br := range browsers {
+	for bi, br := range browsers {
 		web := &measure.WebTool{Net: l.Net, OS: measure.Windows, Browser: br.b}
+		// Flatten rounds×anchors into one job list; each job draws from a
+		// stream salted by (browser, round, anchor), so two rounds at the
+		// same anchor still see independent noise and results are
+		// identical at any concurrency.
+		type fig5Slot struct {
+			base float64
+			s    measure.Sample
+			ok   bool
+		}
+		slots := make([]fig5Slot, rounds*len(anchors))
+		parallelFor(len(slots), l.Concurrency(), func(j int) {
+			round, ai := j/len(anchors), j%len(anchors)
+			lm := anchors[ai]
+			base, err := l.Net.BaseRTTMs(from, lm.Host.ID)
+			if err != nil {
+				return
+			}
+			rng := l.rngFor(int64(500+10*bi+round), lm.Host.ID)
+			s, err := web.Measure(from, lm, rng)
+			if err != nil {
+				return
+			}
+			slots[j] = fig5Slot{base: base, s: s, ok: true}
+		})
+
 		var x1, y1, x2, y2 []float64
 		outliers, outlierSum := 0, 0.0
 		samples := 0
-		for round := 0; round < 2; round++ {
-			for _, lm := range l.Cons.Anchors() {
-				base, err := l.Net.BaseRTTMs(from, lm.Host.ID)
-				if err != nil {
-					continue
-				}
-				s, err := web.Measure(from, lm, rng)
-				if err != nil {
-					continue
-				}
-				samples++
-				expected := base * float64(s.Trips)
-				if s.RTTms > expected+400 {
-					outliers++
-					outlierSum += s.RTTms
-					continue
-				}
-				if s.Trips == 2 {
-					x2, y2 = append(x2, base), append(y2, s.RTTms)
-				} else {
-					x1, y1 = append(x1, base), append(y1, s.RTTms)
-				}
+		for _, sl := range slots {
+			if !sl.ok {
+				continue
+			}
+			samples++
+			expected := sl.base * float64(sl.s.Trips)
+			if sl.s.RTTms > expected+400 {
+				outliers++
+				outlierSum += sl.s.RTTms
+				continue
+			}
+			if sl.s.Trips == 2 {
+				x2, y2 = append(x2, sl.base), append(y2, sl.s.RTTms)
+			} else {
+				x1, y1 = append(x1, sl.base), append(y1, sl.s.RTTms)
 			}
 		}
 		l1, err := mathx.FitLineThroughOrigin(x1, y1)
@@ -257,6 +302,7 @@ func (l *Lab) Fig5Windows() ([]Fig5Row, error) {
 		}
 		rows = append(rows, row)
 	}
+	span.End()
 	return rows, nil
 }
 
@@ -313,52 +359,71 @@ func (l *Lab) Fig9AlgorithmComparison() ([]Fig9Row, error) {
 
 // Fig9Detailed additionally returns the per-host records behind the CDFs.
 func (l *Lab) Fig9Detailed() ([]Fig9Row, []Fig9HostRecord, error) {
-	rng := l.rng(9)
 	type hostMeas struct {
 		id    string
 		truth geo.Point
 		ms    []geoloc.Measurement
+		ok    bool
 	}
-	var data []hostMeas
-	for _, h := range l.Crowd {
-		samples := h.MeasureAllAnchors(l.Cons, rng)
+	// Measurement phase: every crowd host draws from its own stream, so
+	// the cohort's samples are independent of worker scheduling.
+	raw := make([]hostMeas, len(l.Crowd))
+	span := l.Telemetry.StartStage("fig9.measure")
+	parallelFor(len(l.Crowd), l.Concurrency(), func(i int) {
+		h := l.Crowd[i]
+		samples := h.MeasureAllAnchors(l.Cons, l.rngFor(9, h.ID))
 		if len(samples) < 8 {
-			continue
+			return
 		}
-		data = append(data, hostMeas{id: string(h.ID), truth: h.TrueLoc, ms: measure.Measurements(samples)})
+		raw[i] = hostMeas{id: string(h.ID), truth: h.TrueLoc, ms: measure.Measurements(samples), ok: true}
+	})
+	span.End()
+	var data []hostMeas
+	for _, d := range raw {
+		if d.ok {
+			data = append(data, d)
+		}
 	}
 	if len(data) == 0 {
 		return nil, nil, fmt.Errorf("experiments: no crowd measurements")
 	}
 
+	// Localization phase: Locate is deterministic given the measurements
+	// (and all calibration state is read-only), so parallelizing per host
+	// needs only per-index slots merged in cohort order.
+	span = l.Telemetry.StartStage("fig9.locate")
 	var rows []Fig9Row
 	var records []Fig9HostRecord
 	for _, alg := range l.Algorithms() {
-		var misses, centroids, areas []float64
-		covered := 0
-		for _, d := range data {
+		recs := make([]Fig9HostRecord, len(data))
+		parallelFor(len(data), l.Concurrency(), func(i int) {
+			d := data[i]
 			rec := Fig9HostRecord{Algorithm: alg.Name(), Host: d.id}
 			region, err := alg.Locate(d.ms)
 			if err != nil || region == nil || region.Empty() {
 				rec.Empty = true
 				rec.MissKm, rec.CentroidKm = geo.HalfEquatorKm, geo.HalfEquatorKm
-				misses = append(misses, geo.HalfEquatorKm)
-				centroids = append(centroids, geo.HalfEquatorKm)
-				areas = append(areas, 0)
-				records = append(records, rec)
-				continue
+			} else {
+				rec.MissKm = region.DistanceToPointKm(d.truth)
+				c, _ := region.Centroid()
+				rec.CentroidKm = geo.DistanceKm(c, d.truth)
+				rec.AreaLandFrac = region.AreaKm2() / earthLandAreaKm2
 			}
-			miss := region.DistanceToPointKm(d.truth)
-			if miss <= 0 {
-				covered++
-			}
-			c, _ := region.Centroid()
-			rec.MissKm = miss
-			rec.CentroidKm = geo.DistanceKm(c, d.truth)
-			rec.AreaLandFrac = region.AreaKm2() / earthLandAreaKm2
+			recs[i] = rec
+		})
+		var misses, centroids, areas []float64
+		covered := 0
+		for _, rec := range recs {
 			records = append(records, rec)
 			misses = append(misses, rec.MissKm)
 			centroids = append(centroids, rec.CentroidKm)
+			if rec.Empty {
+				areas = append(areas, 0)
+				continue
+			}
+			if rec.MissKm <= 0 {
+				covered++
+			}
 			areas = append(areas, rec.AreaLandFrac)
 		}
 		rows = append(rows, Fig9Row{
@@ -372,6 +437,7 @@ func (l *Lab) Fig9Detailed() ([]Fig9Row, []Fig9HostRecord, error) {
 			AreaMedianFrac: mathx.Quantile(areas, 0.5),
 		})
 	}
+	span.End()
 	return rows, records, nil
 }
 
@@ -400,9 +466,19 @@ type Fig10Result struct {
 // because their positions are exactly known).
 func (l *Lab) Fig10EstimateRatios() (*Fig10Result, error) {
 	cal := l.CBGpp.Calibration()
-	res := &Fig10Result{}
-	var ratios []float64
-	for _, a := range l.Cons.Anchors() {
+	anchors := l.Cons.Anchors()
+	// Pure computation over the calibration pairs — no randomness — so
+	// parallelizing per anchor with partials merged in anchor order is
+	// trivially deterministic.
+	type fig10Part struct {
+		pairs, bestUnder, baseUnder int
+		ratios                      []float64
+	}
+	parts := make([]fig10Part, len(anchors))
+	span := l.Telemetry.StartStage("fig10.pairs")
+	parallelFor(len(anchors), l.Concurrency(), func(i int) {
+		a := anchors[i]
+		p := &parts[i]
 		for _, pair := range l.Cons.CalibrationPairs(a.Host.ID) {
 			truth := pair.DistKm
 			if truth < 1 {
@@ -411,15 +487,24 @@ func (l *Lab) Fig10EstimateRatios() (*Fig10Result, error) {
 			oneWay := geo.OneWayMs(pair.MinRTTms())
 			best := cal.MaxDistanceKm(a.Host.ID, oneWay)
 			base := geo.MaxDistanceKm(oneWay, geo.BaselineSpeedKmPerMs)
-			res.Pairs++
+			p.pairs++
 			if best < truth {
-				res.BestlineUnderFrac++
+				p.bestUnder++
 			}
 			if base < truth {
-				res.BaselineUnderFrac++
+				p.baseUnder++
 			}
-			ratios = append(ratios, best/truth)
+			p.ratios = append(p.ratios, best/truth)
 		}
+	})
+	span.End()
+	res := &Fig10Result{}
+	var ratios []float64
+	for i := range parts {
+		res.Pairs += parts[i].pairs
+		res.BestlineUnderFrac += float64(parts[i].bestUnder)
+		res.BaselineUnderFrac += float64(parts[i].baseUnder)
+		ratios = append(ratios, parts[i].ratios...)
 	}
 	if res.Pairs == 0 {
 		return nil, fmt.Errorf("experiments: no pairs")
@@ -458,7 +543,6 @@ type Fig11Result struct {
 // against all anchors, which measurements actually shrink the CBG++
 // prediction.
 func (l *Lab) Fig11LandmarkEffectiveness(maxHosts int) (*Fig11Result, error) {
-	rng := l.rng(11)
 	if maxHosts <= 0 || maxHosts > len(l.Crowd) {
 		maxHosts = len(l.Crowd)
 	}
@@ -467,18 +551,29 @@ func (l *Lab) Fig11LandmarkEffectiveness(maxHosts int) (*Fig11Result, error) {
 	for i, e := range edges {
 		bins[i].MaxDistKm = e
 	}
-	var dists, reductions []float64
 
-	for _, h := range l.Crowd[:maxHosts] {
-		samples := h.MeasureAllAnchors(l.Cons, rng)
+	// Each host's leave-one-out sweep is independent: it accumulates into
+	// local bins (with MeanReduction holding the sum until the final
+	// division) and local dists/reductions, merged in host order below.
+	type fig11Part struct {
+		bins              []Fig11Bin
+		dists, reductions []float64
+	}
+	parts := make([]fig11Part, maxHosts)
+	span := l.Telemetry.StartStage("fig11.measure")
+	parallelFor(maxHosts, l.Concurrency(), func(hi int) {
+		h := l.Crowd[hi]
+		samples := h.MeasureAllAnchors(l.Cons, l.rngFor(11, h.ID))
 		ms := measure.Measurements(samples)
 		if len(ms) < 8 {
-			continue
+			return
 		}
 		full, err := l.CBGpp.Locate(ms)
 		if err != nil || full.Empty() {
-			continue
+			return
 		}
+		part := &parts[hi]
+		part.bins = make([]Fig11Bin, len(edges))
 		fullArea := full.AreaKm2()
 		for drop := range ms {
 			subset := make([]geoloc.Measurement, 0, len(ms)-1)
@@ -495,14 +590,27 @@ func (l *Lab) Fig11LandmarkEffectiveness(maxHosts int) (*Fig11Result, error) {
 				bi++
 			}
 			if reduction > 1 { // the measurement shrank the region
-				bins[bi].Effective++
-				bins[bi].MeanReduction += reduction
-				dists = append(dists, dist)
-				reductions = append(reductions, reduction)
+				part.bins[bi].Effective++
+				part.bins[bi].MeanReduction += reduction
+				part.dists = append(part.dists, dist)
+				part.reductions = append(part.reductions, reduction)
 			} else {
-				bins[bi].Ineffective++
+				part.bins[bi].Ineffective++
 			}
 		}
+	})
+	span.End()
+
+	var dists, reductions []float64
+	for hi := range parts {
+		part := &parts[hi]
+		for bi := range part.bins {
+			bins[bi].Effective += part.bins[bi].Effective
+			bins[bi].Ineffective += part.bins[bi].Ineffective
+			bins[bi].MeanReduction += part.bins[bi].MeanReduction
+		}
+		dists = append(dists, part.dists...)
+		reductions = append(reductions, part.reductions...)
 	}
 	for i := range bins {
 		if bins[i].Effective > 0 {
@@ -558,29 +666,53 @@ type CoverageResult struct {
 
 // CBGppCoverage reruns the crowd validation with both CBG and CBG++.
 func (l *Lab) CBGppCoverage() (*CoverageResult, error) {
-	rng := l.rng(51)
-	res := &CoverageResult{}
 	// Tolerate one grid cell of slack when deciding "covered": the
 	// discretized region boundary is a cell wide.
 	slack := 1.2 * 111.195 * l.Env.Grid.Resolution()
-	for _, h := range l.Crowd {
-		samples := h.MeasureAllAnchors(l.Cons, rng)
+	type covSlot struct {
+		measured                           bool
+		cbgMiss, cbgEmpty, ppMiss, ppEmpty bool
+	}
+	slots := make([]covSlot, len(l.Crowd))
+	span := l.Telemetry.StartStage("coverage.measure")
+	parallelFor(len(l.Crowd), l.Concurrency(), func(i int) {
+		h := l.Crowd[i]
+		samples := h.MeasureAllAnchors(l.Cons, l.rngFor(51, h.ID))
 		ms := measure.Measurements(samples)
 		if len(ms) < 8 {
+			return
+		}
+		sl := &slots[i]
+		sl.measured = true
+		if region, err := l.CBG.Locate(ms); err != nil || region.Empty() {
+			sl.cbgEmpty, sl.cbgMiss = true, true
+		} else if region.DistanceToPointKm(h.TrueLoc) > slack {
+			sl.cbgMiss = true
+		}
+		if region, err := l.CBGpp.Locate(ms); err != nil || region.Empty() {
+			sl.ppEmpty, sl.ppMiss = true, true
+		} else if region.DistanceToPointKm(h.TrueLoc) > slack {
+			sl.ppMiss = true
+		}
+	})
+	span.End()
+	res := &CoverageResult{}
+	for _, sl := range slots {
+		if !sl.measured {
 			continue
 		}
 		res.Hosts++
-		if region, err := l.CBG.Locate(ms); err != nil || region.Empty() {
-			res.CBGEmpty++
-			res.CBGMisses++
-		} else if region.DistanceToPointKm(h.TrueLoc) > slack {
+		if sl.cbgMiss {
 			res.CBGMisses++
 		}
-		if region, err := l.CBGpp.Locate(ms); err != nil || region.Empty() {
+		if sl.cbgEmpty {
+			res.CBGEmpty++
+		}
+		if sl.ppMiss {
+			res.CBGppMisses++
+		}
+		if sl.ppEmpty {
 			res.CBGppEmpty++
-			res.CBGppMisses++
-		} else if region.DistanceToPointKm(h.TrueLoc) > slack {
-			res.CBGppMisses++
 		}
 	}
 	return res, nil

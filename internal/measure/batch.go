@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"activegeo/internal/atlas"
 	"activegeo/internal/netsim"
@@ -26,6 +27,12 @@ type Batch struct {
 	Concurrency int
 	// Seed derives each proxy's measurement randomness.
 	Seed int64
+	// OnProgress, if non-nil, is called once per finished proxy
+	// (successful, failed, or cancelled) with the completed count so
+	// far and the total. It is invoked from worker goroutines and must
+	// be concurrency-safe; completion order is scheduling-dependent
+	// even though results are not.
+	OnProgress func(done, total int)
 }
 
 // BatchResult is one proxy's outcome.
@@ -42,43 +49,68 @@ func (b *Batch) concurrency() int {
 	return b.Concurrency
 }
 
+// StreamSeed derives the deterministic per-proxy stream seed from a base
+// seed: a pure function of (seed, id) shared by Batch and the experiment
+// pipelines, so a serial loop and a parallel batch draw identical
+// randomness for the same host.
+func StreamSeed(seed int64, id netsim.HostID) int64 {
+	return seed ^ int64(netsim.HashID(id))
+}
+
 // Run measures every proxy and returns results in the input order. It
-// honors ctx cancellation: pending proxies are reported with ctx.Err().
+// honors ctx cancellation as a clean cutoff: once ctx is done, every
+// not-yet-dispatched proxy is reported with ctx.Err(), and no proxy is
+// dispatched afterwards. Proxies already in flight run to completion.
 func (b *Batch) Run(ctx context.Context, proxies []netsim.HostID) []BatchResult {
 	out := make([]BatchResult, len(proxies))
 	sem := make(chan struct{}, b.concurrency())
 	var wg sync.WaitGroup
+	var done int64
+	finish := func() {
+		if b.OnProgress != nil {
+			b.OnProgress(int(atomic.AddInt64(&done, 1)), len(proxies))
+		}
+	}
 	for i, p := range proxies {
 		out[i].Proxy = p
+		// Check cancellation before (and again after) the select: when
+		// ctx is done and a semaphore slot is free at the same time, the
+		// select chooses between its ready cases at random, which would
+		// let some post-cancellation proxies slip through to measurement
+		// nondeterministically. The explicit ctx.Err() checks make
+		// cancellation a deterministic cutoff.
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			finish()
+			continue
+		}
 		select {
 		case <-ctx.Done():
 			out[i].Err = ctx.Err()
+			finish()
 			continue
 		case sem <- struct{}{}:
+			if err := ctx.Err(); err != nil {
+				<-sem
+				out[i].Err = err
+				finish()
+				continue
+			}
 		}
 		wg.Add(1)
 		go func(i int, p netsim.HostID) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			// Per-proxy deterministic stream: independent of scheduling.
-			rng := rand.New(rand.NewSource(b.Seed ^ int64(hashID(p))))
+			rng := rand.New(rand.NewSource(StreamSeed(b.Seed, p)))
 			res, err := ProxiedTwoPhase(b.Cons, b.Client, p, b.Eta, rng)
 			out[i].Result = res
 			out[i].Err = err
+			finish()
 		}(i, p)
 	}
 	wg.Wait()
 	return out
-}
-
-// hashID is a small FNV-1a over the host ID.
-func hashID(id netsim.HostID) uint64 {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(id); i++ {
-		h ^= uint64(id[i])
-		h *= 1099511628211
-	}
-	return h
 }
 
 // Succeeded filters a batch down to the successful results, preserving

@@ -2,6 +2,7 @@ package measure
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -149,19 +150,51 @@ func TestBatchCancellation(t *testing.T) {
 		proxies = append(proxies, id)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	cancel() // cancel before starting: everything pending should error
+	cancel() // cancel before starting: every proxy must report ctx.Err()
 	b := &Batch{Cons: cons, Client: client, Seed: 1, Concurrency: 2}
-	// A cancelled context may still let the first few queued items run;
-	// at minimum the later ones must carry ctx.Err().
 	results := b.Run(ctx, proxies)
-	cancelled := 0
-	for _, r := range results {
-		if r.Err == context.Canceled {
-			cancelled++
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("proxy %d (%s): err = %v, want context.Canceled", i, r.Proxy, r.Err)
 		}
 	}
-	if cancelled == 0 {
-		t.Error("no proxies observed the cancellation")
-	}
 	_ = time.Now()
+}
+
+func TestBatchCancellationMidBatchIsCleanCutoff(t *testing.T) {
+	cons, _ := algtest.Fixture(t)
+	client := addTarget(t, cons.Net(), "batch-midcancel-client", geo.Point{Lat: 50.11, Lon: 8.68})
+	var proxies []netsim.HostID
+	for i := 0; i < 24; i++ {
+		id := addTarget(t, cons.Net(), "batch-midcancel-"+string(rune('a'+i)), geo.Point{Lat: 48, Lon: float64(i)})
+		proxies = append(proxies, id)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b := &Batch{Cons: cons, Client: client, Seed: 7, Concurrency: 2}
+	b.OnProgress = func(done, total int) {
+		if done == 2 {
+			cancel() // cancel while most of the batch is still pending
+		}
+	}
+	results := b.Run(ctx, proxies)
+	// Cancellation must be a clean cutoff: once any proxy reports
+	// ctx.Err() at dispatch, every later proxy must too — no proxy after
+	// the cutoff may have been measured.
+	firstCancelled := -1
+	for i, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			firstCancelled = i
+			break
+		}
+	}
+	if firstCancelled == -1 {
+		t.Fatal("no proxy observed the mid-batch cancellation")
+	}
+	for i := firstCancelled; i < len(results); i++ {
+		if !errors.Is(results[i].Err, context.Canceled) {
+			t.Errorf("proxy %d (%s) was dispatched after the cancellation cutoff: err = %v",
+				i, results[i].Proxy, results[i].Err)
+		}
+	}
 }

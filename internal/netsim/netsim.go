@@ -349,15 +349,24 @@ func (n *Network) nearestHub(p geo.Point) geo.Point {
 	return best
 }
 
+// HashID returns a stable FNV-1a hash of an ID string. It is the single
+// ID-hash helper shared by the simulator's per-pair path properties and
+// the measurement layer's per-proxy random streams: deriving a stream
+// seed as baseSeed ^ HashID(id) makes the stream a pure function of the
+// (seed, id) pair, independent of iteration and scheduling order.
+func HashID(id HostID) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
 // pairUniforms derives two deterministic uniforms in [0,1) from the seed
 // and the unordered host pair.
 func (n *Network) pairUniforms(a, b HostID) (float64, float64) {
 	if b < a {
 		a, b = b, a
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%s", n.seed, a, b)
-	s := h.Sum64()
+	s := HashID(HostID(fmt.Sprintf("%d|%s|%s", n.seed, a, b)))
 	r := rand.New(rand.NewSource(int64(s)))
 	return r.Float64(), r.Float64()
 }

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package telemetry
+
+import "time"
+
+// processCPU is unavailable without rusage support; stage CPU timings
+// read as zero and only wall-clock times are meaningful.
+func processCPU() time.Duration { return 0 }

@@ -1,0 +1,210 @@
+// Package telemetry instruments the experiment pipelines: named stage
+// timings (wall clock and process CPU), monotonic counters, and
+// progress callbacks. The §6 audit is the repo's most expensive run; at
+// paper scale an operator needs to see where the time goes and how many
+// servers failed each stage, not a silent multi-minute pause.
+//
+// A nil *Collector is valid and discards everything, so pipeline code
+// can be instrumented unconditionally:
+//
+//	span := tel.StartStage("audit.measure") // tel may be nil
+//	...
+//	span.End()
+//
+// All methods are safe for concurrent use; the audit's worker pools
+// report progress and counters from many goroutines at once.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage is the accumulated cost of one named pipeline stage. A stage
+// that runs more than once (per-provider batches, benchmark loops)
+// accumulates across spans.
+type Stage struct {
+	Name string
+	// Wall is summed wall-clock time across spans.
+	Wall time.Duration
+	// CPU is summed process CPU time (user+system) across spans. On
+	// platforms without rusage support it stays zero. With parallel
+	// stages CPU exceeding Wall is the expected sign of real speedup.
+	CPU time.Duration
+	// Spans counts StartStage/End pairs folded into this stage.
+	Spans int
+}
+
+// Progress is one progress callback event.
+type Progress struct {
+	Stage string
+	Done  int
+	Total int
+}
+
+// Collector gathers stages, counters and progress for one pipeline run.
+type Collector struct {
+	mu       sync.Mutex
+	order    []string
+	stages   map[string]*Stage
+	corder   []string
+	counters map[string]int64
+	progress func(Progress)
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{
+		stages:   make(map[string]*Stage),
+		counters: make(map[string]int64),
+	}
+}
+
+// OnProgress registers fn to receive progress events. fn is called
+// synchronously from whatever goroutine reports progress, so it must be
+// cheap and concurrency-safe.
+func (c *Collector) OnProgress(fn func(Progress)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.progress = fn
+	c.mu.Unlock()
+}
+
+// Span times one execution of a stage, from StartStage to End.
+type Span struct {
+	c     *Collector
+	name  string
+	start time.Time
+	cpu0  time.Duration
+}
+
+// StartStage opens a timing span for the named stage. The returned span
+// (which may be nil, on a nil collector) is closed with End.
+func (c *Collector) StartStage(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	return &Span{c: c, name: name, start: time.Now(), cpu0: processCPU()}
+}
+
+// End closes the span and folds its wall/CPU cost into the stage.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	wall := time.Since(sp.start)
+	cpu := processCPU() - sp.cpu0
+	c := sp.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stages[sp.name]
+	if st == nil {
+		st = &Stage{Name: sp.name}
+		c.stages[sp.name] = st
+		c.order = append(c.order, sp.name)
+	}
+	st.Wall += wall
+	if cpu > 0 {
+		st.CPU += cpu
+	}
+	st.Spans++
+}
+
+// Add increments a named counter by delta.
+func (c *Collector) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.counters[name]; !ok {
+		c.corder = append(c.corder, name)
+	}
+	c.counters[name] += delta
+}
+
+// Count returns the current value of a counter (0 if never added).
+func (c *Collector) Count(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// Progress forwards a progress event to the registered callback.
+func (c *Collector) Progress(stage string, done, total int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	fn := c.progress
+	c.mu.Unlock()
+	if fn != nil {
+		fn(Progress{Stage: stage, Done: done, Total: total})
+	}
+}
+
+// Stages returns a copy of all stages in first-start order.
+func (c *Collector) Stages() []Stage {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Stage, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, *c.stages[name])
+	}
+	return out
+}
+
+// Counters returns a copy of all counters, sorted by name.
+func (c *Collector) Counters() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Render formats the collected stages and counters as an aligned text
+// report, suitable for printing to stderr after a run.
+func (c *Collector) Render() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry | stage timings:\n")
+	for _, name := range c.order {
+		st := c.stages[name]
+		fmt.Fprintf(&b, "  %-24s wall %10v  cpu %10v  (%d span", name,
+			st.Wall.Round(time.Millisecond), st.CPU.Round(time.Millisecond), st.Spans)
+		if st.Spans != 1 {
+			b.WriteString("s")
+		}
+		b.WriteString(")\n")
+	}
+	if len(c.corder) > 0 {
+		names := append([]string(nil), c.corder...)
+		sort.Strings(names)
+		fmt.Fprintf(&b, "telemetry | counters:\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "  %-24s %d\n", name, c.counters[name])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	span := c.StartStage("x") // must not panic
+	span.End()
+	c.Add("n", 3)
+	c.Progress("x", 1, 2)
+	c.OnProgress(func(Progress) {})
+	if c.Count("n") != 0 {
+		t.Error("nil collector counted")
+	}
+	if c.Stages() != nil || c.Counters() != nil {
+		t.Error("nil collector returned data")
+	}
+	if c.Render() != "" {
+		t.Error("nil collector rendered")
+	}
+}
+
+func TestStagesAccumulate(t *testing.T) {
+	c := New()
+	for i := 0; i < 3; i++ {
+		sp := c.StartStage("stage-a")
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	sp := c.StartStage("stage-b")
+	sp.End()
+	stages := c.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	if stages[0].Name != "stage-a" || stages[1].Name != "stage-b" {
+		t.Fatalf("stage order %v", []string{stages[0].Name, stages[1].Name})
+	}
+	if stages[0].Spans != 3 {
+		t.Errorf("spans = %d, want 3", stages[0].Spans)
+	}
+	if stages[0].Wall < 3*time.Millisecond {
+		t.Errorf("wall = %v, want ≥ 3ms", stages[0].Wall)
+	}
+	if !strings.Contains(c.Render(), "stage-a") {
+		t.Error("render")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Add("hits", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Count("hits"); got != 800 {
+		t.Errorf("hits = %d, want 800", got)
+	}
+	if !strings.Contains(c.Render(), "hits") {
+		t.Error("render should list counters")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	c := New()
+	var mu sync.Mutex
+	var events []Progress
+	c.OnProgress(func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	})
+	c.Progress("measure", 1, 10)
+	c.Progress("measure", 10, 10)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[1] != (Progress{Stage: "measure", Done: 10, Total: 10}) {
+		t.Errorf("event = %+v", events[1])
+	}
+}
