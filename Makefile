@@ -1,12 +1,13 @@
 # Build, test and benchmark targets for the activegeo repo.
 #
-#   make ci           vet + build + unit tests (the tier-1 gate)
-#   make race         full test suite under the race detector
-#   make bench-audit  serial-vs-parallel audit timing -> BENCH_audit.json
+#   make ci            vet + build + unit tests + bench compile + gofmt check
+#   make race          full test suite under the race detector
+#   make bench-audit   serial-vs-parallel audit timing -> BENCH_audit.json
+#   make bench-locate  before/after geometry-kernel timing -> BENCH_locate.json
 
 GO ?= go
 
-.PHONY: all vet build test race ci bench-audit clean
+.PHONY: all vet build test race ci benchcompile fmtcheck bench-audit bench-locate clean
 
 all: ci
 
@@ -24,7 +25,19 @@ test:
 race:
 	$(GO) test -race -timeout 60m ./...
 
-ci: vet build test
+# Every benchmark must at least compile and survive one iteration;
+# without this, bench-only code (reference implementations, metric
+# plumbing) can rot unnoticed between benchmark runs.
+benchcompile:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmtcheck:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+ci: vet build test benchcompile fmtcheck
 
 # Benchmark smoke: time the QuickConfig audit serially and with the
 # default worker pool, verify the verdict tallies are identical, and
@@ -32,6 +45,12 @@ ci: vet build test
 bench-audit:
 	$(GO) run ./cmd/benchaudit -out BENCH_audit.json
 
+# Geometry-kernel microbenchmarks: per-algorithm Locate timing through
+# the pre-kernel reference implementations vs the kernel, plus one full
+# quick-audit wall-clock run, recorded in BENCH_locate.json.
+bench-locate:
+	$(GO) run ./cmd/benchaudit -mode locate -out BENCH_locate.json
+
 clean:
-	rm -f BENCH_audit.json
+	rm -f BENCH_audit.json BENCH_locate.json
 	$(GO) clean ./...

@@ -20,6 +20,7 @@ import (
 	"activegeo/internal/experiments"
 	"activegeo/internal/geoloc"
 	"activegeo/internal/measure"
+	"activegeo/internal/refimpl"
 )
 
 var (
@@ -533,6 +534,69 @@ func BenchmarkLocateCBG(b *testing.B) {
 		if _, err := alg.Locate(ms); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchLocate times one algorithm's Locate on a fixed measurement
+// vector, with a warmup call outside the timer so the kernel side is
+// measured in its steady state (landmark distance fields cached) — the
+// state every audit target after the first runs in.
+func benchLocate(b *testing.B, alg geoloc.Algorithm, ms []Measurement) {
+	b.Helper()
+	region, err := alg.Locate(ms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(region.Count()), "region-cells")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Locate(ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpotterLocate times the kernel-backed Spotter (cached
+// distance fields, hoisted model evaluation, plausibility prune).
+// Compare against BenchmarkSpotterLocateReference for the pre-kernel
+// baseline; cmd/benchaudit -mode locate records the same pair (plus the
+// other four algorithms) in BENCH_locate.json.
+func BenchmarkSpotterLocate(b *testing.B) {
+	lab := getLab(b)
+	benchLocate(b, lab.Spotter, benchCrowdMeasurements(b, lab))
+}
+
+// BenchmarkSpotterLocateReference times the pre-kernel Spotter: a full
+// land scan with per-cell haversine and per-cell model evaluation.
+func BenchmarkSpotterLocateReference(b *testing.B) {
+	lab := getLab(b)
+	ref := &refimpl.Spotter{Env: lab.Env, Model: lab.Spotter.Model()}
+	benchLocate(b, ref, benchCrowdMeasurements(b, lab))
+}
+
+// BenchmarkLocateKernel times every kernel-backed algorithm on the same
+// measurement vector; the Reference variants below are the pre-kernel
+// baselines.
+func BenchmarkLocateKernel(b *testing.B) {
+	lab := getLab(b)
+	ms := benchCrowdMeasurements(b, lab)
+	for _, alg := range []geoloc.Algorithm{lab.CBG, lab.CBGpp, lab.Octant, lab.Hybrid} {
+		b.Run(alg.Name(), func(b *testing.B) { benchLocate(b, alg, ms) })
+	}
+}
+
+// BenchmarkLocateReference times the pre-kernel implementations of the
+// same algorithms (per-cell haversine, no distance-field cache).
+func BenchmarkLocateReference(b *testing.B) {
+	lab := getLab(b)
+	ms := benchCrowdMeasurements(b, lab)
+	for _, alg := range []geoloc.Algorithm{
+		&refimpl.CBG{Env: lab.Env, Cal: lab.CBG.Calibration()},
+		&refimpl.CBGPP{Env: lab.Env, Cal: lab.CBGpp.Calibration()},
+		&refimpl.Octant{Env: lab.Env, Cal: lab.Octant.Calibration()},
+		&refimpl.Hybrid{Env: lab.Env, Model: lab.Spotter.Model()},
+	} {
+		b.Run(alg.Name(), func(b *testing.B) { benchLocate(b, alg, ms) })
 	}
 }
 

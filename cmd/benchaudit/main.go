@@ -1,14 +1,24 @@
-// Command benchaudit times the §6 audit pipeline serially and in
-// parallel on the same lab configuration, verifies the two runs produce
-// identical verdict tallies, and writes the numbers as JSON.
+// Command benchaudit times the repo's two performance-critical paths
+// and writes the numbers as JSON.
 //
 // Usage:
 //
-//	benchaudit [-scale quick|paper] [-out BENCH_audit.json]
+//	benchaudit [-mode audit|locate] [-scale quick|paper] [-out FILE]
 //
-// The speedup is bounded by the core count: on a single-core machine
-// serial and parallel times are expected to be roughly equal, and the
-// JSON records the core count so readers can interpret the ratio.
+// Mode "audit" (the default) times the §6 audit pipeline serially and
+// in parallel on the same lab configuration, verifies the two runs
+// produce identical verdict tallies, and writes BENCH_audit.json. The
+// speedup is bounded by the core count: on a single-core machine serial
+// and parallel times are expected to be roughly equal, and the JSON
+// records the core count so readers can interpret the ratio.
+//
+// Mode "locate" times each localization algorithm before and after the
+// geometry kernel — the pre-kernel per-cell-haversine reference
+// implementations (internal/refimpl) against the kernel-backed ones —
+// on identical measurement vectors, then times one full quick audit for
+// the end-to-end wall-clock number, and writes BENCH_locate.json. Both
+// sides are warmed before timing, so the "after" numbers reflect the
+// steady state the audit runs in (landmark distance fields cached).
 package main
 
 import (
@@ -16,15 +26,19 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
 
 	"activegeo/internal/assess"
 	"activegeo/internal/experiments"
+	"activegeo/internal/geoloc"
+	"activegeo/internal/measure"
+	"activegeo/internal/refimpl"
 )
 
-type report struct {
+type auditReport struct {
 	Config           string  `json:"config"`
 	Servers          int     `json:"servers"`
 	Cores            int     `json:"cores"`
@@ -36,6 +50,27 @@ type report struct {
 	Credible         int     `json:"credible"`
 	Uncertain        int     `json:"uncertain"`
 	False            int     `json:"false"`
+}
+
+type locateRow struct {
+	Algorithm   string  `json:"algorithm"`
+	BeforeMsOp  float64 `json:"before_ms_per_locate"`
+	AfterMsOp   float64 `json:"after_ms_per_locate"`
+	Speedup     float64 `json:"speedup"`
+	RegionCells int     `json:"region_cells"`
+	DiffCells   int     `json:"diff_cells_vs_reference"`
+}
+
+type locateReport struct {
+	Config      string      `json:"config"`
+	Cores       int         `json:"cores"`
+	GridResDeg  float64     `json:"grid_res_deg"`
+	Targets     int         `json:"targets"`
+	Algorithms  []locateRow `json:"algorithms"`
+	AuditWallMs float64     `json:"audit_wall_ms"`
+	Credible    int         `json:"credible"`
+	Uncertain   int         `json:"uncertain"`
+	False       int         `json:"false"`
 }
 
 // timeAudit builds a fresh lab at the given concurrency and times one
@@ -55,21 +90,7 @@ func timeAudit(cfg experiments.Config, workers int) (time.Duration, assess.Tally
 	return time.Since(start), assess.Tabulate(run.Results), len(run.Results), nil
 }
 
-func main() {
-	scale := flag.String("scale", "quick", "audit scale: quick or paper")
-	out := flag.String("out", "BENCH_audit.json", "output JSON path")
-	flag.Parse()
-
-	var cfg experiments.Config
-	switch *scale {
-	case "quick":
-		cfg = experiments.QuickConfig()
-	case "paper":
-		cfg = experiments.PaperConfig()
-	default:
-		log.Fatalf("unknown scale %q", *scale)
-	}
-
+func runAudit(scale string, cfg experiments.Config, out string) {
 	workers := runtime.GOMAXPROCS(0)
 	serial, serialTally, servers, err := timeAudit(cfg, 1)
 	if err != nil {
@@ -87,8 +108,8 @@ func main() {
 		log.Fatalf("determinism violation: serial tally %+v != parallel tally %+v", serialTally, parallelTally)
 	}
 
-	r := report{
-		Config:           *scale,
+	r := auditReport{
+		Config:           scale,
 		Servers:          servers,
 		Cores:            runtime.NumCPU(),
 		ParallelWorkers:  workers,
@@ -100,13 +121,174 @@ func main() {
 		Uncertain:        serialTally.Uncertain,
 		False:            serialTally.False,
 	}
-	data, err := json.MarshalIndent(r, "", "  ")
+	writeJSON(out, r)
+	fmt.Fprintf(os.Stderr, "speedup %.2fx on %d cores; tallies identical; wrote %s\n", r.Speedup, r.Cores, out)
+}
+
+// timeLocate reports the mean per-Locate wall time over the target
+// measurement vectors, after one warmup pass (which also fills the
+// distance-field cache for the kernel side — the steady state every
+// audit target after the first runs in).
+func timeLocate(alg geoloc.Algorithm, targets [][]geoloc.Measurement) (float64, error) {
+	for _, ms := range targets {
+		if _, err := alg.Locate(ms); err != nil {
+			return 0, err
+		}
+	}
+	const minRounds, minDuration = 3, 300 * time.Millisecond
+	rounds := 0
+	start := time.Now()
+	for rounds < minRounds || time.Since(start) < minDuration {
+		for _, ms := range targets {
+			if _, err := alg.Locate(ms); err != nil {
+				return 0, err
+			}
+		}
+		rounds++
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Microseconds()) / 1000 / float64(rounds*len(targets)), nil
+}
+
+// symmetricDiffCells counts cells in exactly one of the two regions.
+func symmetricDiffCells(a, b interface {
+	Each(func(int))
+	Contains(int) bool
+}) int {
+	n := 0
+	a.Each(func(i int) {
+		if !b.Contains(i) {
+			n++
+		}
+	})
+	b.Each(func(i int) {
+		if !a.Contains(i) {
+			n++
+		}
+	})
+	return n
+}
+
+func runLocate(scale string, cfg experiments.Config, out string) {
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		log.Fatalf("building lab: %v", err)
+	}
+	const nTargets = 3
+	if len(lab.Crowd) < nTargets {
+		log.Fatalf("need %d crowd hosts, lab has %d", nTargets, len(lab.Crowd))
+	}
+	targets := make([][]geoloc.Measurement, nTargets)
+	for i := range targets {
+		rng := rand.New(rand.NewSource(int64(77 + i)))
+		targets[i] = measure.Measurements(lab.Crowd[i].MeasureAllAnchors(lab.Cons, rng))
+		if len(targets[i]) == 0 {
+			log.Fatalf("crowd host %d produced no measurements", i)
+		}
+	}
+
+	model := lab.Spotter.Model()
+	pairs := []struct {
+		name      string
+		ref, fast geoloc.Algorithm
+	}{
+		{"CBG", &refimpl.CBG{Env: lab.Env, Cal: lab.CBG.Calibration()}, lab.CBG},
+		{"CBG++", &refimpl.CBGPP{Env: lab.Env, Cal: lab.CBGpp.Calibration()}, lab.CBGpp},
+		{"Quasi-Octant", &refimpl.Octant{Env: lab.Env, Cal: lab.Octant.Calibration()}, lab.Octant},
+		{"Spotter", &refimpl.Spotter{Env: lab.Env, Model: model}, lab.Spotter},
+		{"Hybrid", &refimpl.Hybrid{Env: lab.Env, Model: model}, lab.Hybrid},
+	}
+
+	rep := locateReport{
+		Config:     scale,
+		Cores:      runtime.NumCPU(),
+		GridResDeg: cfg.GridResDeg,
+		Targets:    nTargets,
+	}
+	for _, p := range pairs {
+		before, err := timeLocate(p.ref, targets)
+		if err != nil {
+			log.Fatalf("%s reference: %v", p.name, err)
+		}
+		after, err := timeLocate(p.fast, targets)
+		if err != nil {
+			log.Fatalf("%s kernel: %v", p.name, err)
+		}
+		refRegion, err := p.ref.Locate(targets[0])
+		if err != nil {
+			log.Fatalf("%s reference: %v", p.name, err)
+		}
+		fastRegion, err := p.fast.Locate(targets[0])
+		if err != nil {
+			log.Fatalf("%s kernel: %v", p.name, err)
+		}
+		row := locateRow{
+			Algorithm:   p.name,
+			BeforeMsOp:  before,
+			AfterMsOp:   after,
+			Speedup:     before / after,
+			RegionCells: fastRegion.Count(),
+			DiffCells:   symmetricDiffCells(refRegion, fastRegion),
+		}
+		rep.Algorithms = append(rep.Algorithms, row)
+		fmt.Fprintf(os.Stderr, "%-13s before %8.3f ms  after %8.3f ms  %6.1fx  (diff %d cells)\n",
+			p.name, row.BeforeMsOp, row.AfterMsOp, row.Speedup, row.DiffCells)
+	}
+
+	wall, tally, servers, err := timeAudit(cfg, runtime.GOMAXPROCS(0))
+	if err != nil {
+		log.Fatalf("audit: %v", err)
+	}
+	rep.AuditWallMs = float64(wall.Microseconds()) / 1000
+	rep.Credible = tally.Credible
+	rep.Uncertain = tally.Uncertain
+	rep.False = tally.False
+	fmt.Fprintf(os.Stderr, "quick audit: %v over %d servers (credible %d / uncertain %d / false %d)\n",
+		wall.Round(time.Millisecond), servers, tally.Credible, tally.Uncertain, tally.False)
+
+	writeJSON(out, rep)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "speedup %.2fx on %d cores; tallies identical; wrote %s\n", r.Speedup, r.Cores, *out)
+}
+
+func main() {
+	mode := flag.String("mode", "audit", "what to benchmark: audit or locate")
+	scale := flag.String("scale", "quick", "audit scale: quick or paper")
+	out := flag.String("out", "", "output JSON path (default BENCH_<mode>.json)")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickConfig()
+	case "paper":
+		cfg = experiments.PaperConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	switch *mode {
+	case "audit":
+		if *out == "" {
+			*out = "BENCH_audit.json"
+		}
+		runAudit(*scale, cfg, *out)
+	case "locate":
+		if *out == "" {
+			*out = "BENCH_locate.json"
+		}
+		runLocate(*scale, cfg, *out)
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
 }

@@ -245,29 +245,32 @@ func (c *CBG) Disks(ms []geoloc.Measurement) []geo.Cap {
 
 // Locate implements geoloc.Algorithm: intersect all bestline disks, then
 // apply the physical exclusions. The result may be empty — CBG fails
-// when some disk underestimates (§5.1).
+// when some disk underestimates (§5.1). The disks are evaluated against
+// the Env's shared landmark distance fields, so the per-landmark
+// geometry is a cached slice lookup rather than per-cell trigonometry.
 func (c *CBG) Locate(ms []geoloc.Measurement) (*grid.Region, error) {
-	disks := c.Disks(ms)
-	if len(disks) == 0 {
+	ms = geoloc.Collapse(ms)
+	if len(ms) == 0 {
 		return nil, geoloc.ErrNoMeasurements
 	}
 	// Pad every disk by the rasterization margin so boundary cells are
 	// kept, then intersect starting from the smallest disk: cheap and
 	// keeps the working region minimal.
 	pad := c.env.PadKm()
+	radii := make([]float64, len(ms))
 	min := 0
-	for i := range disks {
-		disks[i].RadiusKm += pad
-		if disks[i].RadiusKm < disks[min].RadiusKm {
+	for i, m := range ms {
+		radii[i] = c.cal.MaxDistanceKm(m.LandmarkID, m.OneWayMs()) + pad
+		if radii[i] < radii[min] {
 			min = i
 		}
 	}
-	region := c.env.Grid.CapRegion(disks[min])
-	for i, d := range disks {
+	region := c.env.CapRegionFor(ms[min].LandmarkID, geo.Cap{Center: ms[min].Landmark, RadiusKm: radii[min]})
+	for i, m := range ms {
 		if i == min {
 			continue
 		}
-		region.IntersectCap(d)
+		region.IntersectWithinKm(c.env.Distances(m.LandmarkID, m.Landmark), radii[i])
 		if region.Empty() {
 			return region, nil
 		}

@@ -67,7 +67,7 @@ func (c *CBGPP) BaselineRegion(ms []geoloc.Measurement) *grid.Region {
 	regions := make([]*grid.Region, 0, len(ms))
 	for _, m := range ms {
 		r := geo.MaxDistanceKm(m.OneWayMs(), geo.BaselineSpeedKmPerMs) + pad
-		regions = append(regions, c.env.Grid.CapRegion(geo.Cap{Center: m.Landmark, RadiusKm: r}))
+		regions = append(regions, c.env.CapRegionFor(m.LandmarkID, geo.Cap{Center: m.Landmark, RadiusKm: r}))
 	}
 	best, _ := geoloc.CoverageArgmax(c.env.Grid, regions)
 	return best
@@ -92,7 +92,7 @@ func (c *CBGPP) LocateDetailed(ms []geoloc.Measurement) (*grid.Region, int, erro
 	bestlineRegions := make([]*grid.Region, 0, len(ms))
 	for _, m := range ms {
 		r := c.cal.MaxDistanceKm(m.LandmarkID, m.OneWayMs()) + pad
-		bestlineRegions = append(bestlineRegions, c.env.Grid.CapRegion(geo.Cap{Center: m.Landmark, RadiusKm: r}))
+		bestlineRegions = append(bestlineRegions, c.env.CapRegionFor(m.LandmarkID, geo.Cap{Center: m.Landmark, RadiusKm: r}))
 	}
 
 	kept := bestlineRegions

@@ -1,0 +1,70 @@
+package geo
+
+import "math"
+
+// Vec3 is a 3-D Cartesian vector. Points on the Earth's surface are
+// represented as unit vectors from the sphere's center; the great-circle
+// distance between two points is then acos(dot)·R, and "within radius r"
+// becomes a single dot-product comparison against a precomputed cos(r/R)
+// — no trigonometry per candidate point.
+//
+// This is the geometry kernel the grid package builds on: cell centers
+// are converted to unit vectors once at grid construction, so the
+// localization hot loops (cap rasterization, ring tests, posterior
+// scoring, nearest-cell search) never call sin/cos/asin per cell.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// UnitVec returns the unit vector of a surface point. The conversion
+// uses the same cos(lat)cos(lon)/cos(lat)sin(lon)/sin(lat) expressions
+// as the rest of the package, so results composed from unit vectors are
+// bit-compatible with code that computed them inline.
+func UnitVec(p Point) Vec3 {
+	latR := p.Lat * degToRad
+	lonR := p.Lon * degToRad
+	cl := math.Cos(latR)
+	return Vec3{X: cl * math.Cos(lonR), Y: cl * math.Sin(lonR), Z: math.Sin(latR)}
+}
+
+// Dot returns the scalar product of two vectors. For unit vectors it is
+// the cosine of the angle between them.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// DistanceKmFromDot converts a dot product of two unit vectors to the
+// great-circle distance between the points, clamping rounding noise
+// outside [-1, 1] (float dot products of unit vectors can overshoot by
+// an ulp).
+func DistanceKmFromDot(dot float64) float64 {
+	if dot > 1 {
+		dot = 1
+	} else if dot < -1 {
+		dot = -1
+	}
+	return math.Acos(dot) * EarthRadiusKm
+}
+
+// DistanceKmTo returns the great-circle distance between the points
+// represented by the unit vectors v and w.
+func (v Vec3) DistanceKmTo(w Vec3) float64 { return DistanceKmFromDot(v.Dot(w)) }
+
+// CosForKm returns cos(km / R): the dot-product threshold for membership
+// tests. For unit vectors u, v and a radius r ∈ (0, πR),
+//
+//	distance(u, v) <= r  ⟺  u·v >= CosForKm(r)
+//
+// Radii ≥ half the sphere's circumference return -1, so the comparison
+// admits every point (dot products of unit vectors are ≥ -1); radii ≤ 0
+// return 1. Callers that must treat a zero radius as "center point only"
+// (dot can exceed 1 by an ulp) should special-case it rather than rely
+// on the threshold.
+func CosForKm(km float64) float64 {
+	if km <= 0 {
+		return 1
+	}
+	a := km / EarthRadiusKm
+	if a >= math.Pi {
+		return -1
+	}
+	return math.Cos(a)
+}

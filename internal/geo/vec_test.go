@@ -1,0 +1,67 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randPoint(rng *rand.Rand) Point {
+	// Uniform on the sphere (not uniform in lat/lon), so polar and
+	// antipodal cases are exercised.
+	z := 2*rng.Float64() - 1
+	lon := 360*rng.Float64() - 180
+	return Point{Lat: math.Asin(z) * radToDeg, Lon: lon}
+}
+
+// TestVecDistanceMatchesHaversine is the kernel's core property: for any
+// two points, acos(dot of unit vectors)·R agrees with the haversine
+// distance. Haversine is the more stable formula near zero and acos near
+// the antipode, so the comparison uses a mixed absolute/relative bound.
+func TestVecDistanceMatchesHaversine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		a, b := randPoint(rng), randPoint(rng)
+		want := DistanceKm(a, b)
+		got := UnitVec(a).DistanceKmTo(UnitVec(b))
+		if diff := math.Abs(got - want); diff > 1e-6+1e-9*want {
+			t.Fatalf("distance mismatch for %v %v: haversine %.12f, vec %.12f (diff %g)", a, b, want, got, diff)
+		}
+	}
+}
+
+// TestCosForKmMembership checks that the dot-product threshold test
+// agrees with the distance comparison it replaces.
+func TestCosForKmMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20000; i++ {
+		c, p := randPoint(rng), randPoint(rng)
+		radius := rng.Float64() * HalfEquatorKm
+		dot := UnitVec(c).Dot(UnitVec(p))
+		wantIn := DistanceKmFromDot(dot) <= radius
+		gotIn := dot >= CosForKm(radius)
+		if wantIn != gotIn {
+			t.Fatalf("membership mismatch: center %v point %v radius %.3f km (dot %.15f)", c, p, radius, dot)
+		}
+	}
+}
+
+func TestCosForKmEdges(t *testing.T) {
+	if CosForKm(0) != 1 || CosForKm(-5) != 1 {
+		t.Error("non-positive radius should give threshold 1")
+	}
+	if CosForKm(math.Pi*EarthRadiusKm) != -1 || CosForKm(1e9) != -1 {
+		t.Error("radius ≥ half circumference should admit everything")
+	}
+}
+
+func TestUnitVecIsUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		v := UnitVec(randPoint(rng))
+		n := math.Sqrt(v.Dot(v))
+		if math.Abs(n-1) > 1e-12 {
+			t.Fatalf("norm %g", n)
+		}
+	}
+}

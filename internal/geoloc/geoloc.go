@@ -7,6 +7,7 @@ package geoloc
 
 import (
 	"errors"
+	"math"
 	"sort"
 
 	"activegeo/internal/geo"
@@ -42,18 +43,87 @@ type Algorithm interface {
 // measurements.
 var ErrNoMeasurements = errors.New("geoloc: no measurements")
 
-// Env bundles the discretization grid and the world-map masks shared by
-// algorithm implementations. Build one per experiment and reuse it; the
-// mask construction dominates setup cost.
+// Env bundles the discretization grid, the world-map masks, and the
+// landmark distance-field cache shared by algorithm implementations.
+// Build one per experiment and reuse it; the mask construction dominates
+// setup cost, and the distance cache amortizes landmark geometry across
+// every target and every algorithm that shares the Env.
 type Env struct {
 	Grid *grid.Grid
 	Mask *worldmap.Mask
+
+	// Field caches the distance-to-every-cell slice of each landmark.
+	// All five algorithms draw from it, so a landmark's great-circle
+	// geometry is computed once per Env, not once per (target,
+	// algorithm). Shared slices are immutable.
+	Field *grid.DistanceField
 }
+
+// DefaultFieldEntries bounds the distance cache. The paper-scale
+// constellation has ~1050 landmarks (250 anchors + 800 probes); at 1°
+// resolution one entry is ≈165 KB, so the default bound caps the cache
+// near 340 MB in the worst case while never evicting in practice.
+const DefaultFieldEntries = 2048
 
 // NewEnv builds an environment at the given grid resolution (degrees).
 func NewEnv(resDeg float64) *Env {
 	g := grid.New(resDeg)
-	return &Env{Grid: g, Mask: worldmap.NewMask(g)}
+	return &Env{
+		Grid:  g,
+		Mask:  worldmap.NewMask(g),
+		Field: grid.NewDistanceField(g, DefaultFieldEntries),
+	}
+}
+
+// Distances returns the cached distance-from-landmark slice for a
+// measurement's landmark (one float32 km per grid cell, in cell order).
+func (e *Env) Distances(id netsim.HostID, landmark geo.Point) []float32 {
+	return e.Field.Distances(grid.FieldKey{ID: string(id), Lat: landmark.Lat, Lon: landmark.Lon})
+}
+
+// CapRegionFor builds the cap's region from the landmark's cached
+// distance field, with AddCap's semantics (the cap center's cell is
+// always included).
+func (e *Env) CapRegionFor(id netsim.HostID, c geo.Cap) *grid.Region {
+	dist := e.Distances(id, c.Center)
+	r := e.Grid.NewRegion()
+	r.AddWithinKm(dist, c.RadiusKm, e.Grid.CellAt(c.Center))
+	return r
+}
+
+// RingRegionFor builds the ring's region from the landmark's cached
+// distance field, with RingRegion's semantics (including the
+// boundary-cell shrink of the inner cap and AddCap's center-cell rule).
+func (e *Env) RingRegionFor(id netsim.HostID, ring geo.Ring) *grid.Region {
+	g := e.Grid
+	dist := e.Distances(id, ring.Center)
+	r := g.NewRegion()
+	// RingRegion subtracts the inner cap only when it can be shrunk by
+	// one cell diagonal while staying positive; otherwise boundary cells
+	// (which may still contain ring area) are kept.
+	shrink := math.Inf(-1)
+	if ring.MinKm > 0 {
+		if s := ring.MinKm - 1.5*111.195*g.Resolution(); s > 0 {
+			shrink = s
+		}
+	}
+	if ring.MaxKm > 0 {
+		for i, d := range dist {
+			dd := float64(d)
+			if dd <= ring.MaxKm && dd > shrink {
+				r.Add(i)
+			}
+		}
+	}
+	// The outer cap's AddCap always includes the center cell; when the
+	// inner cap is subtracted, its own center-cell rule removes it again.
+	cc := g.CellAt(ring.Center)
+	if math.IsInf(shrink, -1) {
+		r.Add(cc)
+	} else {
+		r.Remove(cc)
+	}
+	return r
 }
 
 // PadKm is the conservative rasterization margin for this grid: a cell

@@ -1,0 +1,131 @@
+package grid
+
+import (
+	"sync"
+
+	"activegeo/internal/geo"
+)
+
+// FieldKey identifies one landmark's distance field: the landmark's host
+// ID plus its position. The position is part of the key so a stale entry
+// can never be served for a host that moved (foreign constellations
+// reuse IDs across experiments), and so ID-less callers can key on
+// position alone.
+type FieldKey struct {
+	ID       string
+	Lat, Lon float64
+}
+
+// DistanceField is a concurrency-safe, bounded cache of landmark→cell
+// distance slices over one grid. The first request for a landmark
+// materializes the distance from its position to every cell center
+// (one dot product + acos per cell over the grid's precomputed unit
+// vectors); subsequent requests — from any goroutine, any algorithm —
+// return the same shared slice.
+//
+// This is the amortization at the heart of the localization fast path:
+// the landmark fleet is small and identical across all targets and all
+// five algorithms, so per-(target, landmark) great-circle math collapses
+// to a slice lookup. Entries are evicted least-recently-used beyond the
+// capacity, bounding memory at capacity × NumCells × 4 bytes.
+//
+// Returned slices are shared and must be treated as immutable.
+type DistanceField struct {
+	g   *Grid
+	cap int
+
+	mu      sync.Mutex
+	entries map[FieldKey]*fieldEntry
+	clock   uint64
+
+	hits, misses, evictions uint64
+}
+
+type fieldEntry struct {
+	once    sync.Once
+	dist    []float32
+	lastUse uint64 // guarded by DistanceField.mu
+}
+
+// NewDistanceField builds a cache over g holding at most maxEntries
+// landmark fields (minimum 1).
+func NewDistanceField(g *Grid, maxEntries int) *DistanceField {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &DistanceField{
+		g:       g,
+		cap:     maxEntries,
+		entries: make(map[FieldKey]*fieldEntry, maxEntries),
+	}
+}
+
+// Grid returns the grid the field is built over.
+func (f *DistanceField) Grid() *Grid { return f.g }
+
+// Distances returns the distance-to-every-cell slice for the landmark,
+// computing and caching it on first use. The fill runs outside the cache
+// lock, so concurrent misses on different landmarks compute in parallel
+// while concurrent requests for the same landmark share a single fill.
+func (f *DistanceField) Distances(key FieldKey) []float32 {
+	f.mu.Lock()
+	e, ok := f.entries[key]
+	if ok {
+		f.hits++
+	} else {
+		f.misses++
+		e = &fieldEntry{}
+		f.entries[key] = e
+		if len(f.entries) > f.cap {
+			f.evictLocked(e)
+		}
+	}
+	f.clock++
+	e.lastUse = f.clock
+	f.mu.Unlock()
+
+	e.once.Do(func() {
+		e.dist = f.g.DistancesFrom(geo.Point{Lat: key.Lat, Lon: key.Lon})
+	})
+	return e.dist
+}
+
+// evictLocked drops the least-recently-used entry other than keep. An
+// evicted entry may still be mid-fill in another goroutine; that
+// goroutine keeps its own reference and simply loses the caching.
+func (f *DistanceField) evictLocked(keep *fieldEntry) {
+	var victim FieldKey
+	var victimEntry *fieldEntry
+	for k, e := range f.entries {
+		if e == keep {
+			continue
+		}
+		if victimEntry == nil || e.lastUse < victimEntry.lastUse {
+			victim, victimEntry = k, e
+		}
+	}
+	if victimEntry != nil {
+		delete(f.entries, victim)
+		f.evictions++
+	}
+}
+
+// FieldStats reports cache effectiveness counters.
+type FieldStats struct {
+	Entries   int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (f *DistanceField) Stats() FieldStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FieldStats{
+		Entries:   len(f.entries),
+		Hits:      f.hits,
+		Misses:    f.misses,
+		Evictions: f.evictions,
+	}
+}

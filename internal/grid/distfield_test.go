@@ -1,0 +1,115 @@
+package grid
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"activegeo/internal/geo"
+)
+
+func TestDistanceFieldValues(t *testing.T) {
+	g := New(3.0)
+	f := NewDistanceField(g, 8)
+	p := geo.Point{Lat: 48.85, Lon: 2.35}
+	dist := f.Distances(FieldKey{ID: "paris", Lat: p.Lat, Lon: p.Lon})
+	if len(dist) != g.NumCells() {
+		t.Fatalf("len %d, want %d", len(dist), g.NumCells())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 500; k++ {
+		i := rng.Intn(g.NumCells())
+		want := geo.DistanceKm(p, g.Center(i))
+		if diff := float64(dist[i]) - want; diff > 0.05 || diff < -0.05 {
+			t.Fatalf("cell %d: field %.4f vs haversine %.4f", i, dist[i], want)
+		}
+	}
+}
+
+func TestDistanceFieldHitMiss(t *testing.T) {
+	g := New(5.0)
+	f := NewDistanceField(g, 4)
+	k1 := FieldKey{ID: "a", Lat: 10, Lon: 20}
+	k2 := FieldKey{ID: "b", Lat: -30, Lon: 40}
+
+	d1 := f.Distances(k1)
+	if s := f.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("after first fill: %+v", s)
+	}
+	if d1b := f.Distances(k1); &d1b[0] != &d1[0] {
+		t.Error("second request did not return the shared slice")
+	}
+	f.Distances(k2)
+	if s := f.Stats(); s.Misses != 2 || s.Hits != 1 || s.Entries != 2 {
+		t.Fatalf("after second landmark: %+v", s)
+	}
+	// Same ID at a different position is a different field.
+	f.Distances(FieldKey{ID: "a", Lat: 11, Lon: 20})
+	if s := f.Stats(); s.Misses != 3 {
+		t.Fatalf("moved landmark should miss: %+v", s)
+	}
+}
+
+func TestDistanceFieldEviction(t *testing.T) {
+	g := New(5.0)
+	f := NewDistanceField(g, 2)
+	ka := FieldKey{ID: "a"}
+	kb := FieldKey{ID: "b"}
+	kc := FieldKey{ID: "c"}
+	f.Distances(ka)
+	f.Distances(kb)
+	f.Distances(ka) // a is now more recently used than b
+	f.Distances(kc) // evicts b (LRU)
+	s := f.Stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("after overflow: %+v", s)
+	}
+	f.Distances(ka)
+	if s := f.Stats(); s.Misses != 3 {
+		t.Fatalf("a should still be cached: %+v", s)
+	}
+	f.Distances(kb)
+	if s := f.Stats(); s.Misses != 4 {
+		t.Fatalf("b should have been evicted: %+v", s)
+	}
+}
+
+// TestDistanceFieldConcurrent hammers the cache from many goroutines
+// (run under -race by make race): same-key requests must share one fill
+// and every returned slice must be complete.
+func TestDistanceFieldConcurrent(t *testing.T) {
+	g := New(5.0)
+	f := NewDistanceField(g, 8)
+	keys := make([]FieldKey, 16)
+	for i := range keys {
+		keys[i] = FieldKey{ID: string(rune('a' + i)), Lat: float64(i * 5), Lon: float64(i * 10)}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < 200; n++ {
+				k := keys[rng.Intn(len(keys))]
+				dist := f.Distances(k)
+				if len(dist) != g.NumCells() {
+					t.Errorf("incomplete slice for %v", k)
+					return
+				}
+				// Spot-check one value to catch a torn fill.
+				i := rng.Intn(len(dist))
+				want := geo.DistanceKm(geo.Point{Lat: k.Lat, Lon: k.Lon}, g.Center(i))
+				if diff := float64(dist[i]) - want; diff > 0.05 || diff < -0.05 {
+					t.Errorf("bad value under concurrency: %v cell %d", k, i)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := f.Stats()
+	if s.Entries > 8 {
+		t.Errorf("capacity exceeded: %+v", s)
+	}
+}

@@ -19,6 +19,13 @@ import (
 
 // Grid is an immutable equal-area discretization of the sphere. Build one
 // with New and share it; Regions are only comparable within one Grid.
+//
+// Alongside the cell centers the grid precomputes the geometry kernel:
+// a unit vector per cell center and a cell→band table. Distance tests
+// against a cell then cost one dot product (cap membership is a single
+// comparison against a precomputed cos(radius)), and band lookups —
+// which sit inside CellArea, and therefore inside AreaKm2, Centroid and
+// Spotter's mass weighting — are O(1) instead of a binary search.
 type Grid struct {
 	resDeg     float64   // band height in degrees
 	bands      int       // number of latitude bands
@@ -27,6 +34,8 @@ type Grid struct {
 	total      int       // total number of cells
 	cellArea   []float64 // area of one cell in each band, km²
 	centers    []geo.Point
+	units      []geo.Vec3 // unit vector of each cell center
+	bandIdx    []int32    // band of each cell
 }
 
 // New builds a grid with latitude bands resDeg degrees tall. A resolution
@@ -59,14 +68,19 @@ func New(resDeg float64) *Grid {
 	}
 	g.total = offset
 	g.centers = make([]geo.Point, g.total)
+	g.units = make([]geo.Vec3, g.total)
+	g.bandIdx = make([]int32, g.total)
 	for b := 0; b < bands; b++ {
 		latLo := -90 + float64(b)*resDeg
 		latHi := math.Min(latLo+resDeg, 90)
 		latMid := (latLo + latHi) / 2
 		n := g.cols[b]
 		for c := 0; c < n; c++ {
+			i := g.bandOffset[b] + c
 			lon := -180 + (float64(c)+0.5)*360/float64(n)
-			g.centers[g.bandOffset[b]+c] = geo.Point{Lat: latMid, Lon: lon}
+			g.centers[i] = geo.Point{Lat: latMid, Lon: lon}
+			g.units[i] = geo.UnitVec(g.centers[i])
+			g.bandIdx[i] = int32(b)
 		}
 	}
 	return g
@@ -80,6 +94,22 @@ func (g *Grid) Resolution() float64 { return g.resDeg }
 
 // Center returns the center point of cell i.
 func (g *Grid) Center(i int) geo.Point { return g.centers[i] }
+
+// UnitVec returns the precomputed unit vector of cell i's center.
+func (g *Grid) UnitVec(i int) geo.Vec3 { return g.units[i] }
+
+// DistancesFrom materializes the great-circle distance from p to every
+// cell center, in cell order, as float32 kilometers. This is the raw
+// material of the DistanceField cache: one pass of dot products + acos
+// over the precomputed unit vectors.
+func (g *Grid) DistancesFrom(p geo.Point) []float32 {
+	u := geo.UnitVec(p)
+	out := make([]float32, g.total)
+	for i, v := range g.units {
+		out[i] = float32(geo.DistanceKmFromDot(u.Dot(v)))
+	}
+	return out
+}
 
 // CellArea returns the surface area of cell i in km².
 func (g *Grid) CellArea(i int) float64 { return g.cellArea[g.bandOf(i)] }
@@ -105,19 +135,7 @@ func (g *Grid) CellAt(p geo.Point) int {
 	return g.bandOffset[b] + c
 }
 
-func (g *Grid) bandOf(i int) int {
-	// Binary search over bandOffset.
-	lo, hi := 0, g.bands-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if g.bandOffset[mid] <= i {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	return lo
-}
+func (g *Grid) bandOf(i int) int { return int(g.bandIdx[i]) }
 
 // bandLatRange returns the latitude span [lo, hi] of band b.
 func (g *Grid) bandLatRange(b int) (lo, hi float64) {
@@ -256,13 +274,11 @@ func (r *Region) IntersectsRegion(other *Region) bool {
 func (r *Region) Centroid() (geo.Point, bool) {
 	var x, y, z, wsum float64
 	r.Each(func(i int) {
-		p := r.g.centers[i]
+		u := r.g.units[i]
 		w := r.g.CellArea(i)
-		latR := p.Lat * math.Pi / 180
-		lonR := p.Lon * math.Pi / 180
-		x += w * math.Cos(latR) * math.Cos(lonR)
-		y += w * math.Cos(latR) * math.Sin(lonR)
-		z += w * math.Sin(latR)
+		x += w * u.X
+		y += w * u.Y
+		z += w * u.Z
 		wsum += w
 	})
 	if wsum == 0 {
@@ -281,24 +297,128 @@ func (r *Region) Centroid() (geo.Point, bool) {
 // DistanceToPointKm returns the great-circle distance from the nearest
 // cell center of the region to p (0 if the region contains p's cell).
 // Returns +Inf for an empty region.
+//
+// Instead of scanning every cell of the region, it expands outward from
+// p's latitude band: all centers in band b sit exactly at the band's
+// middle latitude, so the distance from p to any of them is at least the
+// latitude separation, and the search stops as soon as both directions'
+// bands are provably farther than the best cell found. For the small,
+// compact regions claim assessment produces, this touches a handful of
+// bands.
 func (r *Region) DistanceToPointKm(p geo.Point) float64 {
 	if r.ContainsPoint(p) {
 		return 0
 	}
-	best := math.Inf(1)
-	r.Each(func(i int) {
-		if d := geo.DistanceKm(r.g.centers[i], p); d < best {
-			best = d
+	g := r.g
+	pn := p.Normalize()
+	u := geo.UnitVec(pn)
+	pb := int((pn.Lat + 90) / g.resDeg)
+	if pb >= g.bands {
+		pb = g.bands - 1
+	}
+	if pb < 0 {
+		pb = 0
+	}
+	bestDot := math.Inf(-1)
+	bestKm := math.Inf(1)
+	scanBand := func(b int) {
+		off := g.bandOffset[b]
+		r.eachInRange(off, off+g.cols[b], func(i int) {
+			if d := u.Dot(g.units[i]); d > bestDot {
+				bestDot = d
+			}
+		})
+		if !math.IsInf(bestDot, -1) {
+			bestKm = geo.DistanceKmFromDot(bestDot)
 		}
-	})
-	return best
+	}
+	// Minimum possible distance from p to any center in band b: the pure
+	// latitude separation (a great circle between points Δφ apart spans at
+	// least Δφ). The epsilon guards against acos-vs-multiplication rounding
+	// disagreements at the prune boundary.
+	sepKm := func(b int) float64 {
+		lo, hi := g.bandLatRange(b)
+		return math.Abs(pn.Lat-(lo+hi)/2) * (math.Pi / 180) * geo.EarthRadiusKm
+	}
+	lo, hi := pb, pb+1
+	loDone, hiDone := false, false
+	for !loDone || !hiDone {
+		if !loDone {
+			if lo < 0 || sepKm(lo) > bestKm+1e-6 {
+				loDone = true
+			} else {
+				scanBand(lo)
+				lo--
+			}
+		}
+		if !hiDone {
+			if hi >= g.bands || sepKm(hi) > bestKm+1e-6 {
+				hiDone = true
+			} else {
+				scanBand(hi)
+				hi++
+			}
+		}
+	}
+	return bestKm
+}
+
+// eachInRange calls fn for every cell index of the region in [lo, hi),
+// in increasing order.
+func (r *Region) eachInRange(lo, hi int, fn func(i int)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > r.g.total {
+		hi = r.g.total
+	}
+	if lo >= hi {
+		return
+	}
+	wLo, wHi := lo/64, (hi-1)/64
+	for w := wLo; w <= wHi; w++ {
+		word := r.bits[w]
+		if word == 0 {
+			continue
+		}
+		if w == wLo && lo%64 != 0 {
+			word &= ^uint64(0) << uint(lo%64)
+		}
+		if w == wHi && hi%64 != 0 {
+			word &= ^uint64(0) >> uint(64-hi%64)
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			fn(w*64 + b)
+			word &= word - 1
+		}
+	}
 }
 
 // AddCap adds every cell whose center lies within the cap, plus the cell
 // containing the cap's center (so a cap smaller than a cell still maps to
 // a nonempty region). It uses a latitude-band prefilter so the cost is
-// proportional to the cap size.
+// proportional to the cap size, and the kernel's dot-product membership
+// test so no trigonometry runs per candidate cell.
 func (r *Region) AddCap(c geo.Cap) {
+	u := geo.UnitVec(c.Center)
+	cosR := geo.CosForKm(c.RadiusKm)
+	r.addCap(c, func(i int) bool { return u.Dot(r.g.units[i]) >= cosR })
+}
+
+// AddCapReference is the pre-kernel AddCap: identical candidate
+// enumeration, but membership tested with a haversine distance per cell.
+// It exists as the oracle for equivalence tests and as the "before" side
+// of the BENCH_locate microbenchmarks; new code should use AddCap.
+func (r *Region) AddCapReference(c geo.Cap) {
+	r.addCap(c, func(i int) bool { return c.Contains(r.g.centers[i]) })
+}
+
+// addCap enumerates the candidate cells of a cap (latitude-band and
+// longitude-window prefilters) and adds those passing the membership
+// test. The predicate is the only thing the kernel path and the
+// reference path disagree on.
+func (r *Region) addCap(c geo.Cap, contains func(i int) bool) {
 	g := r.g
 	r.Add(g.CellAt(c.Center))
 	if c.RadiusKm <= 0 {
@@ -332,7 +452,7 @@ func (r *Region) AddCap(c geo.Cap) {
 		span := lonHalf + 360/float64(n) // pad by one cell width
 		if span >= 180 {
 			for cc := 0; cc < n; cc++ {
-				if c.Contains(g.centers[off+cc]) {
+				if contains(off + cc) {
 					r.Add(off + cc)
 				}
 			}
@@ -345,7 +465,7 @@ func (r *Region) AddCap(c geo.Cap) {
 		}
 		for k := cLo; k <= cHi; k++ {
 			cc := ((k % n) + n) % n
-			if c.Contains(g.centers[off+cc]) {
+			if contains(off + cc) {
 				r.Add(off + cc)
 			}
 		}
@@ -359,8 +479,58 @@ func (g *Grid) CapRegion(c geo.Cap) *Region {
 	return r
 }
 
+// AddWithinKm adds every cell whose precomputed distance is at most
+// maxKm, plus centerCell — mirroring AddCap's contract that the cap's
+// own cell is always present. dist must be a slice of length NumCells in
+// cell order, as produced by Grid.DistancesFrom (usually via a
+// DistanceField); maxKm ≤ 0 adds only the center cell, like AddCap.
+func (r *Region) AddWithinKm(dist []float32, maxKm float64, centerCell int) {
+	r.Add(centerCell)
+	if maxKm <= 0 {
+		return
+	}
+	for i, d := range dist {
+		if float64(d) <= maxKm {
+			r.Add(i)
+		}
+	}
+}
+
+// IntersectWithinKm removes every cell whose precomputed distance
+// exceeds maxKm. dist must be a slice of length NumCells in cell order.
+func (r *Region) IntersectWithinKm(dist []float32, maxKm float64) {
+	r.Each(func(i int) {
+		if float64(dist[i]) > maxKm {
+			r.Remove(i)
+		}
+	})
+}
+
 // IntersectCap removes every cell whose center is outside the cap.
 func (r *Region) IntersectCap(c geo.Cap) {
+	u := geo.UnitVec(c.Center)
+	cosR := geo.CosForKm(c.RadiusKm)
+	if c.RadiusKm <= 0 {
+		// Degenerate cap: fall back to the distance comparison so a cell
+		// center coinciding with the cap center is kept, as before (a dot
+		// product can round to just under 1).
+		r.Each(func(i int) {
+			if !c.Contains(r.g.centers[i]) {
+				r.Remove(i)
+			}
+		})
+		return
+	}
+	r.Each(func(i int) {
+		if u.Dot(r.g.units[i]) < cosR {
+			r.Remove(i)
+		}
+	})
+}
+
+// IntersectCapReference is the pre-kernel IntersectCap (haversine per
+// cell), kept as the oracle/baseline; new code should use IntersectCap.
+func (r *Region) IntersectCapReference(c geo.Cap) {
 	r.Each(func(i int) {
 		if !c.Contains(r.g.centers[i]) {
 			r.Remove(i)
@@ -370,11 +540,60 @@ func (r *Region) IntersectCap(c geo.Cap) {
 
 // IntersectRing removes every cell whose center is outside the ring.
 func (r *Region) IntersectRing(ring geo.Ring) {
+	u := geo.UnitVec(ring.Center)
+	cosOuter := geo.CosForKm(ring.MaxKm)
+	checkInner := ring.MinKm > 0
+	cosInner := 1.0
+	if checkInner {
+		if ring.MinKm/geo.EarthRadiusKm > math.Pi {
+			// The inner bound exceeds the antipodal distance: nothing on
+			// the sphere is that far away.
+			r.Each(func(i int) { r.Remove(i) })
+			return
+		}
+		cosInner = geo.CosForKm(ring.MinKm)
+	}
+	if ring.MaxKm <= 0 {
+		// Degenerate outer bound: use exact distances, as IntersectCap does.
+		r.Each(func(i int) {
+			if !ring.Contains(r.g.centers[i]) {
+				r.Remove(i)
+			}
+		})
+		return
+	}
+	r.Each(func(i int) {
+		d := u.Dot(r.g.units[i])
+		if d < cosOuter || (checkInner && d > cosInner) {
+			r.Remove(i)
+		}
+	})
+}
+
+// IntersectRingReference is the pre-kernel IntersectRing (haversine per
+// cell), kept as the oracle/baseline; new code should use IntersectRing.
+func (r *Region) IntersectRingReference(ring geo.Ring) {
 	r.Each(func(i int) {
 		if !ring.Contains(r.g.centers[i]) {
 			r.Remove(i)
 		}
 	})
+}
+
+// DistanceToPointKmReference is the pre-kernel full-region scan
+// (haversine per cell), kept as the oracle/baseline; new code should use
+// DistanceToPointKm.
+func (r *Region) DistanceToPointKmReference(p geo.Point) float64 {
+	if r.ContainsPoint(p) {
+		return 0
+	}
+	best := math.Inf(1)
+	r.Each(func(i int) {
+		if d := geo.DistanceKm(r.g.centers[i], p); d < best {
+			best = d
+		}
+	})
+	return best
 }
 
 // String summarizes the region.

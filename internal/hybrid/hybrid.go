@@ -51,21 +51,28 @@ func (h *Hybrid) Rings(ms []geoloc.Measurement) []geo.Ring {
 }
 
 // Locate implements geoloc.Algorithm: the cells covered by the largest
-// number of µ±5σ rings, restricted to the physical exclusions.
+// number of µ±5σ rings, restricted to the physical exclusions. Ring
+// rasterization draws on the Env's shared landmark distance fields.
 func (h *Hybrid) Locate(ms []geoloc.Measurement) (*grid.Region, error) {
-	rings := h.Rings(ms)
-	if len(rings) == 0 {
+	ms = geoloc.Collapse(ms)
+	if len(ms) == 0 {
 		return nil, geoloc.ErrNoMeasurements
 	}
 	pad := h.env.PadKm()
-	regions := make([]*grid.Region, 0, len(rings))
-	for _, r := range rings {
+	regions := make([]*grid.Region, 0, len(ms))
+	for _, m := range ms {
+		t := m.OneWayMs()
+		mu, sig := h.model.MuKm(t), h.model.SigmaKm(t)
+		r := geo.Ring{Center: m.Landmark, MinKm: mu - SigmaSpan*sig, MaxKm: mu + SigmaSpan*sig}
+		if r.MaxKm > geo.HalfEquatorKm {
+			r.MaxKm = geo.HalfEquatorKm
+		}
 		r.MaxKm += pad
 		r.MinKm -= pad
 		if r.MinKm < 0 {
 			r.MinKm = 0
 		}
-		regions = append(regions, geoloc.RingRegion(h.env.Grid, r))
+		regions = append(regions, h.env.RingRegionFor(m.LandmarkID, r))
 	}
 	best := geoloc.IntersectOrArgmax(h.env.Grid, regions)
 	return h.env.ApplyExclusions(best), nil

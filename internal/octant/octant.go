@@ -211,6 +211,10 @@ func New(env *geoloc.Env, cal *Calibration) *Octant {
 // Name implements geoloc.Algorithm.
 func (o *Octant) Name() string { return "Quasi-Octant" }
 
+// Calibration exposes the fitted per-landmark curves (used by the
+// reference-implementation benchmarks).
+func (o *Octant) Calibration() *Calibration { return o.cal }
+
 // Rings returns the per-landmark annulus constraints for a measurement set.
 func (o *Octant) Rings(ms []geoloc.Measurement) []geo.Ring {
 	ms = geoloc.Collapse(ms)
@@ -229,20 +233,26 @@ func (o *Octant) Rings(ms []geoloc.Measurement) []geo.Ring {
 
 // Locate implements geoloc.Algorithm: the cells covered by the largest
 // number of ring constraints, restricted to the physical exclusions.
+// Ring rasterization draws on the Env's shared landmark distance fields.
 func (o *Octant) Locate(ms []geoloc.Measurement) (*grid.Region, error) {
-	rings := o.Rings(ms)
-	if len(rings) == 0 {
+	ms = geoloc.Collapse(ms)
+	if len(ms) == 0 {
 		return nil, geoloc.ErrNoMeasurements
 	}
 	pad := o.env.PadKm()
-	regions := make([]*grid.Region, 0, len(rings))
-	for _, r := range rings {
-		r.MaxKm += pad
-		r.MinKm -= pad
+	regions := make([]*grid.Region, 0, len(ms))
+	for _, m := range ms {
+		cv := o.cal.Curves(m.LandmarkID)
+		t := m.OneWayMs()
+		r := geo.Ring{
+			Center: m.Landmark,
+			MinKm:  cv.MinDistanceKm(t) - pad,
+			MaxKm:  cv.MaxDistanceKm(t) + pad,
+		}
 		if r.MinKm < 0 {
 			r.MinKm = 0
 		}
-		regions = append(regions, geoloc.RingRegion(o.env.Grid, r))
+		regions = append(regions, o.env.RingRegionFor(m.LandmarkID, r))
 	}
 	best := geoloc.IntersectOrArgmax(o.env.Grid, regions)
 	return o.env.ApplyExclusions(best), nil

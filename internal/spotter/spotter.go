@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"activegeo/internal/atlas"
 	"activegeo/internal/geo"
@@ -164,11 +165,25 @@ func Calibrate(cons *atlas.Constellation) (*Model, error) {
 type Spotter struct {
 	env   *geoloc.Env
 	model *Model
+	// scratch recycles the per-Locate working buffers (candidate cells,
+	// log-posteriors, masses). Locate is called once per target across
+	// the audit's worker pool, so the pool removes the dominant
+	// allocations from the hot path while staying concurrency-safe.
+	scratch sync.Pool
+}
+
+// locateScratch is one reusable set of Locate working buffers.
+type locateScratch struct {
+	cells  []int32
+	logp   []float64
+	masses []float64
 }
 
 // New builds a Spotter instance.
 func New(env *geoloc.Env, model *Model) *Spotter {
-	return &Spotter{env: env, model: model}
+	s := &Spotter{env: env, model: model}
+	s.scratch.New = func() any { return &locateScratch{} }
+	return s
 }
 
 // Name implements geoloc.Algorithm.
@@ -178,9 +193,27 @@ func (s *Spotter) Name() string { return "Spotter" }
 // figure generators).
 func (s *Spotter) Model() *Model { return s.model }
 
+// pruneSigmas is the plausibility-prune cushion: a cell is skipped only
+// if, for some measurement, it is beyond BOTH the physical
+// baseline-speed maximum distance (plus the rasterization pad) AND
+// µ+pruneSigmas·σ of that measurement's Gaussian ring. The first
+// condition means no signal could have reached the cell in the observed
+// time; the second bounds the skipped cell's likelihood factor at
+// exp(-pruneSigmas²/2) ≈ 2e-22 of the ring's peak, so the skipped mass
+// cannot move the 95% cutoff. See DESIGN.md §"Geometry kernel".
+const pruneSigmas = 10.0
+
 // Locate implements geoloc.Algorithm: compute the log-posterior over
 // all land cells (uniform land prior) and return the smallest cell set
 // covering MassFraction of the mass.
+//
+// The hot loop runs on the Env's shared landmark distance fields: per
+// cell and measurement it is one slice read, one multiply-add pair, and
+// no trigonometry or polynomial evaluation (µ and σ depend only on the
+// measurement and are hoisted). Cells beyond the plausibility cap of
+// some measurement are pruned before scoring; if every land cell is
+// pruned — wildly inconsistent (e.g. forged) measurements — the full
+// unpruned scan is used instead, preserving the pre-kernel behaviour.
 func (s *Spotter) Locate(ms []geoloc.Measurement) (*grid.Region, error) {
 	ms = geoloc.Collapse(ms)
 	if len(ms) == 0 {
@@ -189,47 +222,121 @@ func (s *Spotter) Locate(ms []geoloc.Measurement) (*grid.Region, error) {
 	g := s.env.Grid
 	land := s.env.Mask.LandRef()
 
-	type scored struct {
-		cell int
-		logp float64
+	type field struct {
+		dist   []float32
+		mu     float64
+		sig    float64
+		logSig float64
+		thresh float64 // prune distance, km
 	}
-	cells := make([]scored, 0, land.Count())
-	land.Each(func(i int) {
-		p := g.Center(i)
-		lp := 0.0
-		for _, m := range ms {
-			d := geo.DistanceKm(m.Landmark, p)
-			t := m.OneWayMs()
-			mu, sig := s.model.MuKm(t), s.model.SigmaKm(t)
-			z := (d - mu) / sig
-			lp += -0.5*z*z - math.Log(sig)
+	fields := make([]field, len(ms))
+	for i, m := range ms {
+		t := m.OneWayMs()
+		mu, sig := s.model.MuKm(t), s.model.SigmaKm(t)
+		thresh := geo.MaxDistanceKm(t, geo.BaselineSpeedKmPerMs) + s.env.PadKm()
+		if soft := mu + pruneSigmas*sig; soft > thresh {
+			thresh = soft
 		}
-		cells = append(cells, scored{cell: i, logp: lp})
-	})
-	if len(cells) == 0 {
+		fields[i] = field{
+			dist:   s.env.Distances(m.LandmarkID, m.Landmark),
+			mu:     mu,
+			sig:    sig,
+			logSig: math.Log(sig),
+			thresh: thresh,
+		}
+	}
+	// Prune order: tightest constraint first, so implausible cells exit
+	// on their first comparison. The scoring pass below keeps the
+	// original (landmark-ID-sorted) summation order for determinism.
+	order := make([]int, len(fields))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return fields[order[a]].thresh < fields[order[b]].thresh })
+
+	sc := s.scratch.Get().(*locateScratch)
+	defer s.scratch.Put(sc)
+	sc.cells = sc.cells[:0]
+
+	collect := func(pruned bool) {
+		land.Each(func(i int) {
+			if pruned {
+				for _, fi := range order {
+					if float64(fields[fi].dist[i]) > fields[fi].thresh {
+						return
+					}
+				}
+			}
+			sc.cells = append(sc.cells, int32(i))
+		})
+	}
+	collect(true)
+	if len(sc.cells) == 0 {
+		// Every land cell violates some plausibility cap: fall back to
+		// the full posterior so the result matches the pre-kernel path.
+		collect(false)
+	}
+	if len(sc.cells) == 0 {
 		return g.NewRegion(), nil
 	}
-	sort.Slice(cells, func(i, j int) bool { return cells[i].logp > cells[j].logp })
+
+	if cap(sc.logp) < len(sc.cells) {
+		sc.logp = make([]float64, len(sc.cells))
+		sc.masses = make([]float64, len(sc.cells))
+	}
+	sc.logp = sc.logp[:len(sc.cells)]
+	sc.masses = sc.masses[:len(sc.cells)]
+	for j, ci := range sc.cells {
+		lp := 0.0
+		for fi := range fields {
+			f := &fields[fi]
+			z := (float64(f.dist[ci]) - f.mu) / f.sig
+			lp += -0.5*z*z - f.logSig
+		}
+		sc.logp[j] = lp
+	}
+	// Best-first, with cell index as the tie-break so equal-score cells
+	// order identically on every platform and Go version (sort.Slice on
+	// the score alone left the mass cutoff unstable under ties).
+	sort.Sort(byScore{cells: sc.cells, logp: sc.logp})
 
 	// Convert to normalized masses relative to the best cell, weighting
 	// by cell area (the prior is uniform per km², not per cell).
-	best := cells[0].logp
+	best := sc.logp[0]
 	var total float64
-	masses := make([]float64, len(cells))
-	for i, c := range cells {
-		masses[i] = math.Exp(c.logp-best) * g.CellArea(c.cell)
-		total += masses[i]
+	for j := range sc.cells {
+		sc.masses[j] = math.Exp(sc.logp[j]-best) * g.CellArea(int(sc.cells[j]))
+		total += sc.masses[j]
 	}
 	region := g.NewRegion()
 	var acc float64
-	for i, c := range cells {
-		region.Add(c.cell)
-		acc += masses[i]
+	for j := range sc.cells {
+		region.Add(int(sc.cells[j]))
+		acc += sc.masses[j]
 		if acc >= MassFraction*total {
 			break
 		}
 	}
 	return region, nil
+}
+
+// byScore sorts cells by descending log-posterior, breaking ties by
+// ascending cell index.
+type byScore struct {
+	cells []int32
+	logp  []float64
+}
+
+func (b byScore) Len() int { return len(b.cells) }
+func (b byScore) Less(i, j int) bool {
+	if b.logp[i] != b.logp[j] {
+		return b.logp[i] > b.logp[j]
+	}
+	return b.cells[i] < b.cells[j]
+}
+func (b byScore) Swap(i, j int) {
+	b.cells[i], b.cells[j] = b.cells[j], b.cells[i]
+	b.logp[i], b.logp[j] = b.logp[j], b.logp[i]
 }
 
 var _ geoloc.Algorithm = (*Spotter)(nil)
