@@ -1,18 +1,36 @@
 # Build, test and benchmark targets for the activegeo repo.
 #
-#   make ci            vet + build + unit tests + bench compile + gofmt check
+#   make ci            vet + lint + build + unit tests + bench compile + gofmt + race smoke
+#   make lint          geolint static-analysis suite over the whole tree (DESIGN.md §9)
+#   make vuln          govulncheck, if installed; soft-fails offline
 #   make race          full test suite under the race detector
+#   make race-smoke    quick audit pipeline only, under the race detector
 #   make bench-audit   serial-vs-parallel audit timing -> BENCH_audit.json
 #   make bench-locate  before/after geometry-kernel timing -> BENCH_locate.json
 
 GO ?= go
 
-.PHONY: all vet build test race ci benchcompile fmtcheck bench-audit bench-locate clean
+.PHONY: all vet lint vuln build test race race-smoke ci benchcompile fmtcheck bench-audit bench-locate clean
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific invariants (determinism, sim clock, map order, shared
+# RNG, float equality, dropped errors) — see DESIGN.md §9.
+lint:
+	$(GO) run ./cmd/geolint ./...
+
+# Dependency vulnerability scan. govulncheck needs network access and
+# is not baked into every environment, so this target soft-fails: it
+# reports what it could not do but never breaks an offline build.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "vuln: govulncheck reported findings or could not reach the vuln DB (soft-fail)"; \
+	else \
+		echo "vuln: govulncheck not installed; skipping (soft-fail)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -24,6 +42,13 @@ test:
 # detector on few cores it needs more than go test's 10m default.
 race:
 	$(GO) test -race -timeout 60m ./...
+
+# Race smoke: only the quick audit determinism path (tiny constellation,
+# real worker pools) under the race detector — fast enough for every CI
+# run, unlike the full `make race` suite. -short keeps the heavy
+# paper-scale audits out.
+race-smoke:
+	$(GO) test -race -short -run 'TestAudit' ./internal/experiments
 
 # Every benchmark must at least compile and survive one iteration;
 # without this, bench-only code (reference implementations, metric
@@ -37,7 +62,7 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-ci: vet build test benchcompile fmtcheck
+ci: vet lint build test benchcompile fmtcheck race-smoke
 
 # Benchmark smoke: time the QuickConfig audit serially and with the
 # default worker pool, verify the verdict tallies are identical, and

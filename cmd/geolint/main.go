@@ -1,0 +1,92 @@
+// Command geolint is the repository's multichecker: it runs the
+// internal/analysis suite (detrand, simclock, maporder, sharedrand,
+// floatexact, errdrop) over the named packages and exits non-zero when
+// any invariant is violated.
+//
+// Usage:
+//
+//	geolint [-list] [packages]
+//
+// Packages are go-style patterns relative to the module root
+// ("./...", "./internal/geo", "internal/experiments/..."); the default
+// is "./...". Deliberate exceptions are annotated in the source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or alone on the line above; there is no blanket
+// disable, and a malformed directive is itself a finding. Exit status:
+// 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"activegeo/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("geolint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(errw, "geolint: %v\n", err)
+		return 2
+	}
+	n, err := lintPatterns(wd, patterns, suite, out)
+	if err != nil {
+		fmt.Fprintf(errw, "geolint: %v\n", err)
+		return 2
+	}
+	if n > 0 {
+		fmt.Fprintf(out, "geolint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}
+
+// lintPatterns loads the packages and prints every finding, returning
+// the count.
+func lintPatterns(dir string, patterns []string, suite []*analysis.Analyzer, out io.Writer) (int, error) {
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, suite)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSeededViolationExitsNonZero: pointing the multichecker at a
+// fixture package full of violations must exit 1 and print findings —
+// the make ci gate demanded by the acceptance criteria.
+func TestSeededViolationExitsNonZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"internal/analysis/testdata/src/errdrop"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "[errdrop]") {
+		t.Errorf("output does not name the analyzer:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "finding(s)") {
+		t.Errorf("output does not summarize the finding count:\n%s", out.String())
+	}
+}
+
+// TestTreeIsClean: the whole repository passes the suite with zero
+// findings — every deliberate exception carries a reasoned directive.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint: skipped with -short")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errw); code != 0 {
+		t.Fatalf("geolint ./... = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+}
+
+// TestListFlag: -list prints every analyzer with its doc line.
+func TestListFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"detrand", "simclock", "maporder", "sharedrand", "floatexact", "errdrop"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestBadPatternExitsTwo: load failures are usage errors, not findings.
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &out, &errw); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr:\n%s", code, errw.String())
+	}
+}

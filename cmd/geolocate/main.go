@@ -54,7 +54,9 @@ func main() {
 		log.Fatal(err)
 	}
 	ms, err := measure.ReadMeasurements(f)
-	f.Close()
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatalf("parsing %s: %v", flag.Arg(0), err)
 	}

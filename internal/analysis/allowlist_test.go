@@ -1,0 +1,88 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"activegeo/internal/analysis"
+)
+
+// loadReal loads one of this repository's real packages.
+func loadReal(t *testing.T, loader *analysis.Loader, path string) *analysis.Package {
+	t.Helper()
+	rel := strings.TrimPrefix(path, loader.ModPath+"/")
+	pkg, err := loader.LoadDir(filepath.Join(loader.ModDir, filepath.FromSlash(rel)), path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", path, err)
+	}
+	return pkg
+}
+
+// TestSimclockAllowlist proves the exemption mechanism is the package
+// scope list, not an accident of the code: internal/telemetry and
+// internal/proxy both read the wall clock (span timers, socket
+// deadlines), the default scope produces zero findings on them, and
+// force-scoping the same analyzer onto them produces findings.
+func TestSimclockAllowlist(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"activegeo/internal/telemetry", "activegeo/internal/proxy"} {
+		pkg := loadReal(t, loader, path)
+
+		def := analysis.NewSimclock(analysis.DefaultSimClockScope)
+		diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{def})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s is allowlisted (not in scope) but got findings: %v", path, diags)
+		}
+
+		forced := analysis.NewSimclock([]string{path})
+		diags, err = analysis.RunPackage(pkg, []*analysis.Analyzer{forced})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) == 0 {
+			t.Errorf("%s reads the wall clock, so force-scoping simclock onto it must find something — the allowlist, not the code, is what exempts it", path)
+		}
+	}
+}
+
+// TestSimclockScopeCoversSimPackages pins the scope list itself.
+func TestSimclockScopeCoversSimPackages(t *testing.T) {
+	want := map[string]bool{
+		"activegeo/internal/netsim":      true,
+		"activegeo/internal/measure":     true,
+		"activegeo/internal/experiments": true,
+	}
+	if len(analysis.DefaultSimClockScope) != len(want) {
+		t.Fatalf("scope = %v, want the three sim packages", analysis.DefaultSimClockScope)
+	}
+	for _, p := range analysis.DefaultSimClockScope {
+		if !want[p] {
+			t.Errorf("unexpected package %q in simclock scope", p)
+		}
+	}
+}
+
+// TestMeasureDirectivesHold: internal/measure is in scope and reads
+// the wall clock only in tcp.go under reasoned directives — the
+// default suite must report nothing there.
+func TestMeasureDirectivesHold(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := loadReal(t, loader, "activegeo/internal/measure")
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{analysis.NewSimclock(analysis.DefaultSimClockScope)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("measure/tcp.go directives no longer hold: %v", diags)
+	}
+}

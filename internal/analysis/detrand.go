@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DefaultSeedScope lists the simulation/measurement packages in which
+// hard-coded RNG seeds are forbidden: their random streams must be
+// derived from the run's configured seed (measure.StreamSeed,
+// netsim.HashID, Lab.streamSeed), or two runs with different configs
+// would silently share noise.
+var DefaultSeedScope = []string{
+	"activegeo/internal/netsim",
+	"activegeo/internal/measure",
+	"activegeo/internal/experiments",
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the process-global, cross-goroutine shared source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// NewDetrand builds the detrand analyzer. Three rules:
+//
+//  1. no calls to the global math/rand top-level draw functions — the
+//     global source is shared across goroutines and makes every draw
+//     depend on whatever else the process randomized first;
+//  2. no rand.New / rand.NewSource seeded from time.Now — measurements
+//     must be a pure function of (seed, salt, host);
+//  3. inside seedScope, no rand.NewSource with a compile-time constant
+//     seed — per-entity streams must be derived from the configured
+//     run seed.
+//
+// Test files are never loaded, so fixed seeds in _test.go stay fine.
+func NewDetrand(seedScope []string) *Analyzer {
+	a := &Analyzer{
+		Name: "detrand",
+		Doc:  "forbids the global math/rand source, wall-clock seeding, and hard-coded seeds in simulation packages",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				path, name, ok := pkgCallee(pass.Info, call)
+				if !ok || path != "math/rand" {
+					return true
+				}
+				switch {
+				case globalRandFuncs[name]:
+					pass.Reportf(call.Pos(),
+						"call to global math/rand.%s: draw from an explicit seeded *rand.Rand (rngFor / measure.StreamSeed) instead",
+						name)
+				case name == "New" || name == "NewSource":
+					for _, arg := range call.Args {
+						if containsPkgCall(pass.Info, arg, "time", "Now") {
+							pass.Reportf(call.Pos(),
+								"rand.%s seeded from time.Now: randomness must be a pure function of (seed, salt, host)",
+								name)
+							break
+						}
+					}
+					if name == "NewSource" && inScope(pass.Path, seedScope) &&
+						len(call.Args) == 1 && pass.Info.Types[call.Args[0]].Value != nil {
+						pass.Reportf(call.Pos(),
+							"hard-coded seed in simulation package %s: derive stream seeds from the run's config seed (measure.StreamSeed / netsim.HashID)",
+							pass.Path)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errdropMethods are the socket-lifecycle methods whose error results
+// must not be silently dropped: a failed SetReadDeadline turns a
+// bounded measurement read into an unbounded hang, and a failed Close
+// leaks the connection the RTT was measured on.
+var errdropMethods = map[string]bool{
+	"Close":            true,
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// NewErrdrop builds the errdrop analyzer: a bare expression-statement
+// call to Close / Set*Deadline that returns an error is flagged.
+// Handling the error, explicitly discarding it (`_ = c.Close()`), or
+// deferring the call (`defer c.Close()`, the idiomatic best-effort
+// cleanup) all pass.
+func NewErrdrop() *Analyzer {
+	a := &Analyzer{
+		Name: "errdrop",
+		Doc:  "flags silently dropped errors from Close / SetDeadline / SetReadDeadline / SetWriteDeadline",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				// Defers are DeferStmt nodes, go-calls GoStmt nodes:
+				// only a plain ExprStmt is a silent drop.
+				es, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := es.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !errdropMethods[sel.Sel.Name] {
+					return true
+				}
+				if _, isPkg := pass.Info.Uses[identOf(sel.X)].(*types.PkgName); isPkg {
+					return true // pkg.Close(...) is not a method call
+				}
+				if t := pass.TypeOf(call); t != nil && isErrorType(t) {
+					pass.Reportf(call.Pos(),
+						"%s error silently dropped: handle it or discard explicitly (_ = x.%s())",
+						sel.Sel.Name, sel.Sel.Name)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

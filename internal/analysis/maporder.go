@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// outputFuncs are fmt package functions that emit output directly;
+// calling them under map iteration writes in random order.
+var outputFuncs = []string{"Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln"}
+
+// NewMaporder builds the maporder analyzer. It flags `range` over a
+// map whose body makes iteration order observable:
+//
+//   - appending to a slice declared outside the loop, unless a
+//     sort.* / slices.* call (or a .Sort() method) on that slice
+//     follows in the same statement list — the collect-then-sort
+//     idiom is exactly the approved fix;
+//   - writing output (fmt.Print*/Fprint*, io.WriteString) — lines
+//     would come out in a different order every run;
+//   - consuming randomness from a *rand.Rand — the draw each entity
+//     receives would depend on iteration order, the §6 audit bug
+//     PR 1 fixed by hand.
+//
+// Writes into other maps or into index-addressed slots are order-
+// independent and stay unflagged.
+func NewMaporder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "flags map iteration whose body leaks the random iteration order into slices, output or RNG streams",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var list []ast.Stmt
+				switch s := n.(type) {
+				case *ast.BlockStmt:
+					list = s.List
+				case *ast.CaseClause:
+					list = s.Body
+				case *ast.CommClause:
+					list = s.Body
+				default:
+					return true
+				}
+				for i, stmt := range list {
+					rs, ok := stmt.(*ast.RangeStmt)
+					if !ok {
+						continue
+					}
+					t := pass.TypeOf(rs.X)
+					if t == nil {
+						continue
+					}
+					if _, isMap := t.Underlying().(*types.Map); !isMap {
+						continue
+					}
+					checkMapRange(pass, rs, list[i+1:])
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for j, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Info, call) || j >= len(s.Lhs) {
+					continue
+				}
+				target, ok := s.Lhs[j].(*ast.Ident)
+				if !ok {
+					continue // append into m[k] etc. is order-independent
+				}
+				obj := pass.Info.ObjectOf(target)
+				if obj == nil || declaredWithin(obj, rs.Pos(), rs.End()) {
+					continue
+				}
+				if sortedAfter(pass, rest, obj) {
+					continue
+				}
+				pass.Reportf(s.Pos(),
+					"append to %s under map iteration: order is random per run — collect then sort (no sort of %s follows in this block)",
+					target.Name, target.Name)
+			}
+		case *ast.CallExpr:
+			if isPkgCall(pass.Info, s, "fmt", outputFuncs...) || isPkgCall(pass.Info, s, "io", "WriteString") {
+				pass.Reportf(s.Pos(), "output written under map iteration: lines come out in a different order every run")
+				return true
+			}
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+				if t := pass.TypeOf(sel.X); t != nil && isRandRand(t) {
+					pass.Reportf(s.Pos(),
+						"RNG consumed under map iteration: the draw each entity gets depends on iteration order — iterate a sorted key slice instead")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// sortedAfter reports whether any statement after the loop sorts the
+// object: a sort.* or slices.* call mentioning it, or obj.Sort().
+func sortedAfter(pass *Pass, rest []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, _, ok := pkgCallee(pass.Info, call); ok && (path == "sort" || path == "slices") {
+				for _, arg := range call.Args {
+					if usesObject(pass.Info, arg, obj) {
+						found = true
+						return false
+					}
+				}
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sort" &&
+				usesObject(pass.Info, sel.X, obj) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NewSharedrand builds the sharedrand analyzer: a *rand.Rand must
+// never cross a goroutine boundary. math/rand sources are not safe for
+// concurrent use, and even a mutex-wrapped shared stream makes every
+// draw depend on goroutine scheduling — the pre-PR 1 Lab.Audit bug.
+//
+// Flagged:
+//
+//   - a `go` statement whose function literal captures a *rand.Rand
+//     declared outside the literal, or that passes one as an argument;
+//   - a function literal capturing an outer *rand.Rand handed to a
+//     worker-pool-shaped callee (name containing "parallel", "worker",
+//     "pool", "spawn" or "async", e.g. experiments.parallelFor).
+//
+// Serial callbacks (sort.Slice comparators and the like) stay
+// unflagged; per-entity streams derived inside the closure
+// (rngFor / measure.StreamSeed) are the approved pattern.
+func NewSharedrand() *Analyzer {
+	a := &Analyzer{
+		Name: "sharedrand",
+		Doc:  "forbids *rand.Rand values crossing goroutine boundaries (go statements, worker-pool closures)",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.GoStmt:
+					if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+						reportCapturedRand(pass, lit, "go statement")
+					}
+					for _, arg := range s.Call.Args {
+						if t := pass.TypeOf(arg); t != nil && isRandRand(t) {
+							pass.Reportf(arg.Pos(),
+								"*rand.Rand passed into a go statement: derive a per-goroutine stream (measure.StreamSeed) instead of sharing one")
+						}
+					}
+				case *ast.CallExpr:
+					if !isWorkerPoolCallee(s) {
+						return true
+					}
+					for _, arg := range s.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							reportCapturedRand(pass, lit, "worker-pool closure")
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// reportCapturedRand flags free *rand.Rand variables referenced inside
+// the literal but declared outside it.
+func reportCapturedRand(pass *Pass, lit *ast.FuncLit, where string) {
+	seen := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !isRandRand(obj.Type()) || declaredWithin(obj, lit.Pos(), lit.End()) {
+			return true
+		}
+		if seen[obj.Name()] {
+			return true
+		}
+		seen[obj.Name()] = true
+		pass.Reportf(id.Pos(),
+			"*rand.Rand %q shared into a %s: every draw would depend on scheduling — derive a per-entity stream inside the closure",
+			obj.Name(), where)
+		return true
+	})
+}
+
+// isWorkerPoolCallee applies the naming heuristic for callees that run
+// their function-literal arguments concurrently.
+func isWorkerPoolCallee(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	name = strings.ToLower(name)
+	for _, marker := range []string{"parallel", "worker", "pool", "spawn", "async"} {
+		if strings.Contains(name, marker) {
+			return true
+		}
+	}
+	return false
+}

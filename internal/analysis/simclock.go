@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DefaultSimClockScope lists the packages whose code paths simulate
+// the network: in them, latency and timing are pure functions of the
+// seed, so reading the wall clock is a determinism bug. Real-socket
+// and telemetry packages (internal/proxy, internal/telemetry,
+// internal/atlasd, cmd/*) are exempt by not being listed — the
+// allowlist is this package list, not per-line nolint noise. The one
+// real-socket file inside a scoped package (measure/tcp.go, the
+// paper's command-line TCP tool) carries explicit
+// //lint:allow simclock directives.
+var DefaultSimClockScope = []string{
+	"activegeo/internal/netsim",
+	"activegeo/internal/measure",
+	"activegeo/internal/experiments",
+}
+
+// wallClockFuncs are the time package functions that read or depend on
+// the wall clock (or the process monotonic clock).
+var wallClockFuncs = []string{
+	"Now", "Since", "Until", "Sleep", "After", "Tick",
+	"AfterFunc", "NewTimer", "NewTicker",
+}
+
+// NewSimclock builds the simclock analyzer: no wall-clock reads inside
+// the simulation packages.
+func NewSimclock(scope []string) *Analyzer {
+	a := &Analyzer{
+		Name: "simclock",
+		Doc:  "forbids wall-clock reads (time.Now, time.Since, ...) in simulation packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if !inScope(pass.Path, scope) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgCall(pass.Info, call, "time", wallClockFuncs...) {
+					_, name, _ := pkgCallee(pass.Info, call)
+					pass.Reportf(call.Pos(),
+						"wall-clock read time.%s in simulation package %s: simulated latency must be a pure function of the seed",
+						name, pass.Path)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,101 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"activegeo/internal/analysis"
+	"activegeo/internal/analysis/analysistest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+// Each analyzer runs over its fixture package; scope-sensitive
+// analyzers are constructed with the fixture's import path so the
+// scoped rules fire.
+
+func TestDetrandFixture(t *testing.T) {
+	a := analysis.NewDetrand([]string{"fixture/detrand"})
+	analysistest.Run(t, fixture("detrand"), "fixture/detrand", a)
+}
+
+func TestDetrandSeedRuleOnlyInScope(t *testing.T) {
+	// Outside the seed scope the hard-coded-seed rule is silent but
+	// the global-source and wall-clock rules still fire.
+	a := analysis.NewDetrand([]string{"activegeo/internal/netsim"})
+	diags := analysistest.Findings(t, fixture("detrand"), "fixture/unscoped", a)
+	for _, d := range diags {
+		if strings.Contains(d.Message, "hard-coded seed") {
+			t.Errorf("seed rule fired outside its scope: %s", d)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatal("global-source and wall-clock rules must fire regardless of scope")
+	}
+}
+
+func TestSimclockFixture(t *testing.T) {
+	a := analysis.NewSimclock([]string{"fixture/simclock"})
+	analysistest.Run(t, fixture("simclock"), "fixture/simclock", a)
+}
+
+func TestMaporderFixture(t *testing.T) {
+	analysistest.Run(t, fixture("maporder"), "fixture/maporder", analysis.NewMaporder())
+}
+
+func TestSharedrandFixture(t *testing.T) {
+	analysistest.Run(t, fixture("sharedrand"), "fixture/sharedrand", analysis.NewSharedrand())
+}
+
+func TestFloatexactFixture(t *testing.T) {
+	a := analysis.NewFloatexact([]string{"fixture/floatexact"})
+	analysistest.Run(t, fixture("floatexact"), "fixture/floatexact", a)
+}
+
+func TestErrdropFixture(t *testing.T) {
+	analysistest.Run(t, fixture("errdrop"), "fixture/errdrop", analysis.NewErrdrop())
+}
+
+// TestMalformedDirectives: a directive missing its reason or naming an
+// unknown analyzer is reported and suppresses nothing.
+func TestMalformedDirectives(t *testing.T) {
+	diags := analysistest.Findings(t, fixture("directivebad"), "fixture/directivebad", analysis.NewErrdrop())
+	var missingReason, unknownName, drops int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == analysis.DirectiveAnalyzer && strings.Contains(d.Message, "missing the mandatory reason"):
+			missingReason++
+		case d.Analyzer == analysis.DirectiveAnalyzer && strings.Contains(d.Message, "unknown analyzer"):
+			unknownName++
+		case d.Analyzer == "errdrop":
+			drops++
+		}
+	}
+	if missingReason != 1 || unknownName != 1 {
+		t.Errorf("want 1 missing-reason + 1 unknown-analyzer directive diagnostics, got %d + %d (all: %v)",
+			missingReason, unknownName, diags)
+	}
+	if drops != 2 {
+		t.Errorf("malformed directives must not suppress: want 2 errdrop findings, got %d", drops)
+	}
+}
+
+// TestSuiteNames pins the analyzer set the multichecker runs.
+func TestSuiteNames(t *testing.T) {
+	want := []string{"detrand", "simclock", "maporder", "sharedrand", "floatexact", "errdrop"}
+	suite := analysis.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+	}
+}

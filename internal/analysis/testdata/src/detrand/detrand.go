@@ -1,0 +1,38 @@
+// Package detrand holds detrand analyzer fixtures. The global-source
+// and wall-clock cases are distilled from the pre-PR 1 audit engine,
+// whose shared order-dependent randomness made every verdict depend on
+// fleet iteration order; the hard-coded-seed case is the regression
+// the seed-scope rule guards internal/netsim, internal/measure and
+// internal/experiments against.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw(n int) int {
+	return rand.Intn(n) // want "global math/rand.Intn"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle"
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.New seeded from time.Now" "rand.NewSource seeded from time.Now"
+}
+
+func hardCodedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(7)) // want "hard-coded seed"
+}
+
+// seedFromConfig is the approved shape: the stream is a pure function
+// of a seed that arrives from the run's configuration.
+func seedFromConfig(seed int64, id string) *rand.Rand {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * 1099511628211
+	}
+	return rand.New(rand.NewSource(seed ^ int64(h)))
+}

@@ -1,0 +1,18 @@
+// Package directivebad exercises the directive grammar: a directive
+// without a reason or naming an unknown analyzer must be reported and
+// must not suppress anything.
+package directivebad
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func missingReason(c closer) {
+	//lint:allow errdrop
+	c.Close()
+}
+
+func unknownAnalyzer(c closer) {
+	//lint:allow nosuchcheck because reasons
+	c.Close()
+}

@@ -1,0 +1,50 @@
+// Package errdrop holds errdrop analyzer fixtures, distilled from the
+// real findings in proxy/forward.go's DialThrough, which dropped the
+// Close error on all three CONNECT failure paths, and from the
+// SetReadDeadline pattern in the same file.
+package errdrop
+
+type conn struct{}
+
+func (conn) Close() error               { return nil }
+func (conn) SetDeadline(ms int) error   { return nil }
+func (conn) SetReadDeadline(int) error  { return nil }
+func (conn) SetWriteDeadline(int) error { return nil }
+
+func silentDrops(c conn) {
+	c.Close()              // want "Close error silently dropped"
+	c.SetReadDeadline(10)  // want "SetReadDeadline error silently dropped"
+	c.SetWriteDeadline(10) // want "SetWriteDeadline error silently dropped"
+	c.SetDeadline(10)      // want "SetDeadline error silently dropped"
+}
+
+func explicitlyDiscarded(c conn) {
+	_ = c.Close()
+	_ = c.SetReadDeadline(10)
+}
+
+func deferredCleanup(c conn) {
+	defer c.Close()
+}
+
+func handled(c conn) error {
+	if err := c.SetDeadline(10); err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// voidCloser: Close methods that do not return an error are not drops.
+type voidCloser struct{}
+
+func (voidCloser) Close() {}
+
+func closeWithoutError(v voidCloser) {
+	v.Close()
+}
+
+// allowedDrop: the directive keeps a deliberate best-effort close.
+func allowedDrop(c conn) {
+	//lint:allow errdrop best-effort close on an already-failed connection
+	c.Close()
+}

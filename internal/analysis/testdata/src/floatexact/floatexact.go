@@ -1,0 +1,43 @@
+// Package floatexact holds floatexact analyzer fixtures. scoreTie is
+// distilled from the pre-PR 2 Spotter, which compared cell scores with
+// == to pick a winner — exactly where the vector kernel's acos-dot
+// distances and the haversine reference disagree by ULPs. The
+// division-by-zero sentinel mirrors grid.Region's centroid guards,
+// which carry the same directive in production.
+package floatexact
+
+import "math"
+
+func scoreTie(score, best float64) bool {
+	return score == best // want "exact float comparison"
+}
+
+func notEqualTie(a, b float64) bool {
+	return a != b // want "exact float comparison"
+}
+
+func mixedIntFloat(count int, limit float64) bool {
+	return float64(count) == limit // want "exact float comparison"
+}
+
+// viaEpsilon is the approved shape (mathx.ApproxEqual / mathx.Within
+// in production code).
+func viaEpsilon(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+func constantFolded() bool {
+	const eps = 1e-9
+	return eps == 1e-9
+}
+
+// allowedSentinel: a reasoned directive keeps deliberate exact
+// sentinels, as in grid.Region centroid guards.
+func allowedSentinel(wsum float64) bool {
+	//lint:allow floatexact division-by-zero guard: a sum of non-negative areas is zero iff the region is empty
+	return wsum == 0
+}

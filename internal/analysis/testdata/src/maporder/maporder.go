@@ -1,0 +1,78 @@
+// Package maporder holds maporder analyzer fixtures — the exact bug
+// class PR 1 fixed by hand in the §6 audit pipeline, where tallies and
+// provider tables were built by ranging over maps: leakAppend and
+// rngUnderRange are distilled from the pre-fix Lab.Audit aggregation,
+// collectThenSort is the shape the fix introduced (assess.Agreement,
+// atlas.Pooled, worldmap.CountriesOverlapping all use it today).
+package maporder
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+func leakAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out under map iteration"
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectThenSortSlice(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func printUnderRange(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "output written under map iteration"
+	}
+}
+
+func rngUnderRange(m map[string]int, rng *rand.Rand) map[string]float64 {
+	out := map[string]float64{}
+	for k := range m {
+		out[k] = rng.Float64() // want "RNG consumed under map iteration"
+	}
+	return out
+}
+
+// mapCopy and groupBy write only into maps or indexed slots: order
+// independent, unflagged.
+func mapCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func groupBy(m map[string]int, idx map[int][]string) {
+	for k, v := range m {
+		idx[v] = append(idx[v], k)
+	}
+}
+
+// sliceRangeIsFine: only map iteration is nondeterministic.
+func sliceRangeIsFine(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

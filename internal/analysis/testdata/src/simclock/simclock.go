@@ -1,0 +1,32 @@
+// Package simclock holds simclock analyzer fixtures, distilled from
+// the one real finding in this repo: measure/tcp.go's live TCP
+// handshake timer, which reads the wall clock inside the otherwise
+// fully simulated internal/measure package and carries the allow
+// directive demonstrated below.
+package simclock
+
+import "time"
+
+func simulatedRTT() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func simulatedElapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func sleepInSim() {
+	time.Sleep(time.Millisecond) // want "wall-clock read time.Sleep"
+}
+
+// realSocketTimer mirrors measure.ConnectRTT: a deliberate wall-clock
+// read in a real-socket path, suppressed with a reasoned directive.
+func realSocketTimer() time.Time {
+	//lint:allow simclock real TCP handshake timing, as in measure/tcp.go
+	return time.Now()
+}
+
+// durationsAreFine: only clock reads are flagged, not the time types.
+func durationsAreFine(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// pkgCallee resolves a call through a package-qualified selector
+// (pkg.Func) to the package's import path and the function name.
+func pkgCallee(info *types.Info, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	id, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	pn, okPkg := info.Uses[id].(*types.PkgName)
+	if !okPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// isPkgCall reports whether call is pkg.name for the given import path
+// and one of the names.
+func isPkgCall(info *types.Info, call *ast.CallExpr, path string, names ...string) bool {
+	p, n, ok := pkgCallee(info, call)
+	if !ok || p != path {
+		return false
+	}
+	for _, want := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// isRandRand reports whether t is *math/rand.Rand.
+func isRandRand(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rand" && obj.Pkg() != nil && obj.Pkg().Path() == "math/rand"
+}
+
+// containsPkgCall reports whether the expression tree contains a call
+// to pkg.name.
+func containsPkgCall(info *types.Info, e ast.Expr, path, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isPkgCall(info, call, path, name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// usesObject reports whether the node mentions the object.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// declaredWithin reports whether the object's declaration lies inside
+// the [lo, hi] position interval.
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj.Pos() >= lo && obj.Pos() <= hi
+}
+
+// isFloat reports whether the type's underlying kind is a float.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -141,6 +141,7 @@ func BestLine(pts []mathx.XY, slowline bool) (mathx.Line, error) {
 	hull := mathx.LowerHull(pts)
 	for i := 1; i < len(hull); i++ {
 		dx := hull[i].X - hull[i-1].X
+		//lint:allow floatexact division-by-zero guard: only an exactly vertical hull segment has no slope
 		if dx == 0 {
 			continue
 		}

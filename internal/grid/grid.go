@@ -281,11 +281,13 @@ func (r *Region) Centroid() (geo.Point, bool) {
 		z += w * u.Z
 		wsum += w
 	})
+	//lint:allow floatexact division-by-zero guard: wsum is a sum of non-negative areas, zero iff the region is empty
 	if wsum == 0 {
 		return geo.Point{}, false
 	}
 	x, y, z = x/wsum, y/wsum, z/wsum
 	norm := math.Sqrt(x*x + y*y + z*z)
+	//lint:allow floatexact division-by-zero guard: norm is exactly zero only for perfectly antipodally symmetric regions
 	if norm == 0 {
 		return geo.Point{}, false
 	}

@@ -1,0 +1,33 @@
+package mathx
+
+import "math"
+
+// DefaultTol is the tolerance ApproxEqual uses: well above the ULP
+// noise that separates the vector kernel's acos-dot distances from the
+// haversine reference (relative error ~1e-15 on kilometre scales), and
+// far below any physically meaningful difference in delay or distance.
+const DefaultTol = 1e-9
+
+// Within reports whether a and b agree to within a mixed
+// absolute/relative tolerance: |a-b| <= tol*max(1, |a|, |b|). The
+// max(1, ...) floor makes the test absolute near zero and relative for
+// large magnitudes, so it is usable on raw kilometres, milliseconds
+// and log-posteriors alike. NaNs are never within anything.
+func Within(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { // handles equal infinities and exact matches
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // unequal with an infinite side: no finite tolerance helps
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// ApproxEqual reports whether a and b agree to within DefaultTol. It
+// is the comparison the floatexact analyzer (DESIGN.md §9) directs
+// geometry code to use instead of == / != on floats.
+func ApproxEqual(a, b float64) bool { return Within(a, b, DefaultTol) }

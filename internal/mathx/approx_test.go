@@ -1,0 +1,46 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWithin(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-12, true},
+		{0, 0, 1e-12, true},
+		{1, 1 + 1e-12, 1e-9, true},           // relative regime
+		{1e6, 1e6 * (1 + 1e-12), 1e-9, true}, // scales with magnitude
+		{1e6, 1e6 * (1 + 1e-6), 1e-9, false}, // beyond tolerance
+		{0, 1e-12, 1e-9, true},               // absolute regime near zero
+		{0, 1e-3, 1e-9, false},               //
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.NaN(), 1, 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := Within(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("Within(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualULPNoise(t *testing.T) {
+	// The use case from the geometry kernel: acos-dot and haversine
+	// distances for the same pair differ by a few ULPs on km scales.
+	d := 4242.4242424242
+	noisy := d * (1 + 4*2.220446049250313e-16)
+	if d == noisy {
+		t.Skip("could not construct ULP-separated pair")
+	}
+	if !ApproxEqual(d, noisy) {
+		t.Errorf("ApproxEqual must absorb ULP noise: %v vs %v", d, noisy)
+	}
+	if ApproxEqual(d, d+1) {
+		t.Errorf("ApproxEqual(%v, %v) = true: a kilometre is not noise", d, d+1)
+	}
+}

@@ -99,7 +99,7 @@ func invertHull(hull []mathx.XY, cutoff float64) []mathx.XY {
 			continue // keep distance nondecreasing in delay
 		}
 		maxD = p.Y
-		if len(out) > 0 && out[len(out)-1].X == p.X {
+		if len(out) > 0 && mathx.ApproxEqual(out[len(out)-1].X, p.X) {
 			out[len(out)-1].Y = p.Y
 			continue
 		}

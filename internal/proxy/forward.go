@@ -133,16 +133,16 @@ func DialThrough(ctx context.Context, proxyAddr, targetAddr string) (net.Conn, e
 		_ = conn.SetDeadline(deadline)
 	}
 	if _, err := fmt.Fprintf(conn, "CONNECT %s\n", targetAddr); err != nil {
-		conn.Close()
+		_ = conn.Close() // surfacing the write error; close is best-effort
 		return nil, err
 	}
 	resp, err := bufio.NewReader(conn).ReadString('\n')
 	if err != nil {
-		conn.Close()
+		_ = conn.Close() // surfacing the read error; close is best-effort
 		return nil, err
 	}
 	if !strings.HasPrefix(resp, "OK") {
-		conn.Close()
+		_ = conn.Close() // surfacing the refusal; close is best-effort
 		return nil, fmt.Errorf("%w: %s", ErrProxyRefused, strings.TrimSpace(resp))
 	}
 	_ = conn.SetDeadline(time.Time{})

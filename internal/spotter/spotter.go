@@ -329,6 +329,7 @@ type byScore struct {
 
 func (b byScore) Len() int { return len(b.cells) }
 func (b byScore) Less(i, j int) bool {
+	//lint:allow floatexact comparator needs exact equality: an epsilon tie would break sort's strict weak ordering
 	if b.logp[i] != b.logp[j] {
 		return b.logp[i] > b.logp[j]
 	}
