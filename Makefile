@@ -1,16 +1,18 @@
 # Build, test and benchmark targets for the activegeo repo.
 #
 #   make ci            vet + lint + build + unit tests + bench compile + gofmt + race smoke
+#   make ci-local      alias for `make ci` — the exact gate .github/workflows/ci.yml runs
 #   make lint          geolint static-analysis suite over the whole tree (DESIGN.md §9)
 #   make vuln          govulncheck, if installed; soft-fails offline
 #   make race          full test suite under the race detector
 #   make race-smoke    quick audit pipeline only, under the race detector
 #   make bench-audit   serial-vs-parallel audit timing -> BENCH_audit.json
 #   make bench-locate  before/after geometry-kernel timing -> BENCH_locate.json
+#   make bench-faults  robustness sweep: tallies vs injected loss -> BENCH_faults.json
 
 GO ?= go
 
-.PHONY: all vet lint vuln build test race race-smoke ci benchcompile fmtcheck bench-audit bench-locate clean
+.PHONY: all vet lint vuln build test race race-smoke ci ci-local benchcompile fmtcheck bench-audit bench-locate bench-faults clean
 
 all: ci
 
@@ -46,9 +48,10 @@ race:
 # Race smoke: only the quick audit determinism path (tiny constellation,
 # real worker pools) under the race detector — fast enough for every CI
 # run, unlike the full `make race` suite. -short keeps the heavy
-# paper-scale audits out.
+# paper-scale audits out. The pattern is anchored so future tests merely
+# containing "TestAudit" don't silently bloat the smoke gate.
 race-smoke:
-	$(GO) test -race -short -run 'TestAudit' ./internal/experiments
+	$(GO) test -race -short -run '^TestAudit' ./internal/experiments
 
 # Every benchmark must at least compile and survive one iteration;
 # without this, bench-only code (reference implementations, metric
@@ -64,6 +67,10 @@ fmtcheck:
 
 ci: vet lint build test benchcompile fmtcheck race-smoke
 
+# The same gate, under the name the README documents for pre-push runs:
+# what passes `make ci-local` passes the ci.yml workflow, nothing more.
+ci-local: ci
+
 # Benchmark smoke: time the QuickConfig audit serially and with the
 # default worker pool, verify the verdict tallies are identical, and
 # record the numbers (plus the core count) in BENCH_audit.json.
@@ -76,6 +83,12 @@ bench-audit:
 bench-locate:
 	$(GO) run ./cmd/benchaudit -mode locate -out BENCH_locate.json
 
+# Robustness sweep: the full audit plus five-algorithm crowd
+# localization at each loss rate of the default sweep, recorded in
+# BENCH_faults.json (DESIGN.md §10).
+bench-faults:
+	$(GO) run ./cmd/benchaudit -mode faults -out BENCH_faults.json
+
 clean:
-	rm -f BENCH_audit.json BENCH_locate.json
+	rm -f BENCH_audit.json BENCH_locate.json BENCH_faults.json
 	$(GO) clean ./...

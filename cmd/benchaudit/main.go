@@ -19,6 +19,13 @@
 // the end-to-end wall-clock number, and writes BENCH_locate.json. Both
 // sides are warmed before timing, so the "after" numbers reflect the
 // steady state the audit runs in (landmark distance fields cached).
+//
+// Mode "faults" runs the robustness sweep (experiments.Robustness):
+// the full audit plus a five-algorithm crowd localization at each loss
+// rate of the default sweep, recording the credible/uncertain/false
+// tallies, coverage and mean region sizes vs. injected loss, and writes
+// BENCH_faults.json. The sweep is deterministic, so the JSON doubles as
+// a regression record of the loss-threshold result in DESIGN.md §10.
 package main
 
 import (
@@ -50,6 +57,33 @@ type auditReport struct {
 	Credible         int     `json:"credible"`
 	Uncertain        int     `json:"uncertain"`
 	False            int     `json:"false"`
+}
+
+type faultsRow struct {
+	Loss            float64            `json:"loss"`
+	Credible        int                `json:"credible"`
+	Uncertain       int                `json:"uncertain"`
+	False           int                `json:"false"`
+	MeanCoverage    float64            `json:"mean_coverage"`
+	MeasureFailures int                `json:"measure_failures"`
+	LocateFailures  int                `json:"locate_failures"`
+	DegradedServers int                `json:"degraded_servers"`
+	Disconnects     int                `json:"disconnects"`
+	LostLandmarks   int                `json:"lost_landmarks"`
+	Retries         int                `json:"retries"`
+	MeanAreaKm2     map[string]float64 `json:"mean_area_km2"`
+	WithinTolerance bool               `json:"within_tolerance"`
+}
+
+type faultsReport struct {
+	Config        string      `json:"config"`
+	Cores         int         `json:"cores"`
+	Servers       int         `json:"servers"`
+	CrowdHosts    int         `json:"crowd_hosts"`
+	LossThreshold float64     `json:"loss_threshold"`
+	Tolerance     float64     `json:"tolerance"`
+	WallMs        float64     `json:"wall_ms"`
+	Points        []faultsRow `json:"points"`
 }
 
 type locateRow struct {
@@ -250,6 +284,62 @@ func runLocate(scale string, cfg experiments.Config, out string) {
 	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 }
 
+func runFaults(scale string, cfg experiments.Config, out string) {
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		log.Fatalf("building lab: %v", err)
+	}
+	const crowdHosts = 8
+	start := time.Now()
+	res, err := lab.Robustness(nil, crowdHosts)
+	if err != nil {
+		log.Fatalf("robustness sweep: %v", err)
+	}
+	wall := time.Since(start)
+
+	rep := faultsReport{
+		Config:        scale,
+		Cores:         runtime.NumCPU(),
+		Servers:       len(lab.Fleet.Servers()),
+		CrowdHosts:    res.CrowdHosts,
+		LossThreshold: experiments.RobustnessLossThreshold,
+		Tolerance:     experiments.RobustnessTallyTolerance,
+		WallMs:        float64(wall.Microseconds()) / 1000,
+	}
+	baseline := res.Points[0].Tally
+	for _, p := range res.Points {
+		row := faultsRow{
+			Loss:            p.Loss,
+			Credible:        p.Tally.Credible,
+			Uncertain:       p.Tally.Uncertain,
+			False:           p.Tally.False,
+			MeanCoverage:    p.MeanCoverage,
+			MeasureFailures: p.MeasureFailures,
+			LocateFailures:  p.LocateFailures,
+			DegradedServers: p.DegradedServers,
+			Disconnects:     p.Disconnects,
+			LostLandmarks:   p.LostLandmarks,
+			Retries:         p.Retries,
+			MeanAreaKm2:     map[string]float64{},
+			WithinTolerance: p.WithinTolerance(baseline, experiments.RobustnessTallyTolerance),
+		}
+		for _, a := range p.Areas {
+			row.MeanAreaKm2[a.Algorithm] = a.MeanAreaKm2
+		}
+		rep.Points = append(rep.Points, row)
+		fmt.Fprintf(os.Stderr, "loss %.2f: %4d/%4d/%4d  coverage %.3f  degraded %d  within tolerance: %v\n",
+			p.Loss, p.Tally.Credible, p.Tally.Uncertain, p.Tally.False,
+			p.MeanCoverage, p.DegradedServers, row.WithinTolerance)
+	}
+	for _, row := range rep.Points {
+		if row.Loss <= rep.LossThreshold && !row.WithinTolerance {
+			log.Fatalf("loss %.2f is under the documented threshold %.2f but outside tolerance", row.Loss, rep.LossThreshold)
+		}
+	}
+	writeJSON(out, rep)
+	fmt.Fprintf(os.Stderr, "swept %d loss rates in %v; wrote %s\n", len(rep.Points), wall.Round(time.Millisecond), out)
+}
+
 func writeJSON(path string, v any) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -262,7 +352,7 @@ func writeJSON(path string, v any) {
 }
 
 func main() {
-	mode := flag.String("mode", "audit", "what to benchmark: audit or locate")
+	mode := flag.String("mode", "audit", "what to benchmark: audit, locate or faults")
 	scale := flag.String("scale", "quick", "audit scale: quick or paper")
 	out := flag.String("out", "", "output JSON path (default BENCH_<mode>.json)")
 	flag.Parse()
@@ -288,6 +378,11 @@ func main() {
 			*out = "BENCH_locate.json"
 		}
 		runLocate(*scale, cfg, *out)
+	case "faults":
+		if *out == "" {
+			*out = "BENCH_faults.json"
+		}
+		runFaults(*scale, cfg, *out)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}

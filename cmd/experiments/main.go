@@ -5,6 +5,7 @@
 //
 //	experiments [-scale quick|paper] [-only substring] [-csv dir]
 //	            [-concurrency N] [-telemetry] [-progress]
+//	            [-faults] [-loss P] [-outage F]
 //
 // The quick scale (default) runs the whole evaluation in a few minutes
 // at roughly a tenth of the paper's size; the paper scale uses 250
@@ -13,6 +14,11 @@
 // replotting. The pipelines are deterministic at any -concurrency
 // setting; -telemetry prints per-stage timings after the run and
 // -progress streams completion counts during it.
+//
+// -faults arms the netsim fault-injection layer for the whole
+// evaluation (default mix at the -loss rate, 0.1 unless given);
+// -loss or -outage alone also arm it. The Robustness experiment runs
+// its own loss sweep regardless, restoring the lab afterwards.
 package main
 
 import (
@@ -35,6 +41,9 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "worker pool size for the parallel pipelines (0 = GOMAXPROCS; results are identical at any setting)")
 	telFlag := flag.Bool("telemetry", false, "print per-stage timings and counters to stderr after the run")
 	progressFlag := flag.Bool("progress", false, "stream pipeline progress to stderr")
+	faultsFlag := flag.Bool("faults", false, "arm fault injection with the default mix at the -loss rate")
+	loss := flag.Float64("loss", 0, "injected probe-loss rate (implies -faults; default 0.1 when -faults is set alone)")
+	outage := flag.Float64("outage", 0, "fraction of landmarks with an outage window (implies -faults; overrides the default mix)")
 	flag.Parse()
 
 	if *csvDir != "" {
@@ -53,6 +62,7 @@ func main() {
 		log.Fatalf("unknown scale %q (want quick or paper)", *scale)
 	}
 	cfg.Concurrency = *concurrency
+	cfg.Faults = experiments.FaultProfile(*faultsFlag, *loss, *outage)
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "building lab (%d anchors, %d probes, %d servers)…\n",
@@ -175,6 +185,14 @@ func main() {
 		{"Ext indirect error", func() (string, error) { r, err := lab.ExtIndirectError(25); return render(r, err) }},
 		{"Ext adversary", func() (string, error) { r, err := lab.ExtAdversary(); return render(r, err) }},
 		{"Ext constellations", func() (string, error) { r, err := lab.ExtConstellations(); return render(r, err) }},
+		{"Robustness", func() (string, error) {
+			r, err := lab.Robustness(nil, 8)
+			if err != nil {
+				return "", err
+			}
+			exportCSV("robustness", func(f *os.File) error { return experiments.WriteRobustnessCSV(f, r) })
+			return r.Render(), nil
+		}},
 	}
 
 	failures := 0

@@ -5,11 +5,19 @@
 //
 //	vpnaudit [-scale quick|paper] [-provider A] [-v]
 //	         [-concurrency N] [-telemetry] [-progress]
+//	         [-faults] [-loss P] [-outage F]
 //
 // Results are identical at every -concurrency setting (all randomness is
 // derived per server); the flag only trades wall-clock time for cores.
 // -telemetry prints per-stage wall/CPU timings and counters to stderr
 // after the run; -progress streams completion counts while it runs.
+//
+// -faults arms the netsim fault-injection layer with the default mix at
+// -loss (probe loss rate, default 0.1); -loss or -outage alone also arm
+// it. -outage overrides the fraction of landmarks suffering an outage
+// window. Faulty runs stay deterministic — same seed, same verdicts at
+// any concurrency — and print a coverage/confidence summary of what the
+// resilient pipeline lost.
 package main
 
 import (
@@ -76,6 +84,9 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "worker pool size for the parallel pipelines (0 = GOMAXPROCS; results are identical at any setting)")
 	telFlag := flag.Bool("telemetry", false, "print per-stage timings and counters to stderr after the run")
 	progressFlag := flag.Bool("progress", false, "stream pipeline progress to stderr")
+	faultsFlag := flag.Bool("faults", false, "arm fault injection with the default mix at the -loss rate")
+	loss := flag.Float64("loss", 0, "injected probe-loss rate (implies -faults; default 0.1 when -faults is set alone)")
+	outage := flag.Float64("outage", 0, "fraction of landmarks with an outage window (implies -faults; overrides the default mix)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -88,6 +99,7 @@ func main() {
 		log.Fatalf("unknown scale %q", *scale)
 	}
 	cfg.Concurrency = *concurrency
+	cfg.Faults = experiments.FaultProfile(*faultsFlag, *loss, *outage)
 
 	start := time.Now()
 	lab, err := experiments.NewLab(cfg)
@@ -106,6 +118,19 @@ func main() {
 	fmt.Fprintf(os.Stderr, "audited %d servers in %v (%d measure / %d locate failures)\n",
 		len(run.Results), time.Since(start).Round(time.Millisecond),
 		run.MeasureFailures, run.LocateFailures)
+	if len(run.Coverage) > 0 {
+		meanCov := 0.0
+		for _, r := range run.Results {
+			if c, ok := run.Coverage[r.ServerID]; ok {
+				meanCov += c.Coverage
+			}
+		}
+		meanCov /= float64(len(run.Coverage))
+		fmt.Fprintf(os.Stderr,
+			"fault injection (loss %.2f): %d/%d servers degraded, mean coverage %.3f, %d retries, %d probe failures, %d lost landmarks, %d disconnects\n",
+			cfg.Faults.ProbeLoss, run.DegradedServers, len(run.Coverage), meanCov,
+			run.Retries, run.ProbeFailures, run.LostLandmarks, run.Disconnects)
+	}
 
 	fig17, err := lab.Fig17Assessment()
 	if err != nil {
@@ -138,6 +163,9 @@ func main() {
 			extra := ""
 			if r.Verdict == assess.Uncertain && len(r.Candidates) > 1 {
 				extra = fmt.Sprintf(" (could be: %v)", r.Candidates)
+			}
+			if c, ok := run.Coverage[r.ServerID]; ok && c.Confidence != "full" {
+				extra += fmt.Sprintf(" [coverage %d/%d, confidence %s]", c.Measured, c.Planned, c.Confidence)
 			}
 			fmt.Printf("  %-14s provider %s  claimed %s  verdict %-9s probable %s%s\n",
 				r.ServerID, r.Provider, r.ClaimedCountry, r.Verdict, r.ProbableCountry, extra)

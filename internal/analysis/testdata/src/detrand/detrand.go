@@ -36,3 +36,39 @@ func seedFromConfig(seed int64, id string) *rand.Rand {
 	}
 	return rand.New(rand.NewSource(seed ^ int64(h)))
 }
+
+// Fault-injection shapes (DESIGN.md §10). A per-probe loss draw from
+// the global source would tie which probes vanish to goroutine
+// interleaving instead of the caller's per-entity stream — exactly
+// the bug the faults-at-any-concurrency determinism tests guard.
+func lossDrawGlobal(p float64) bool {
+	return rand.Float64() < p // want "global math/rand.Float64"
+}
+
+func backoffJitterGlobal(maxMs int) int {
+	return rand.Intn(maxMs) // want "global math/rand.Intn"
+}
+
+// A private hard-seeded stream for outage placement would make every
+// run's outages identical regardless of the configured network seed.
+func outageStreamHardSeed() *rand.Rand {
+	return rand.New(rand.NewSource(86)) // want "hard-coded seed"
+}
+
+// lossDrawFromStream is the approved per-event shape: the fault draw
+// consumes the caller's derived stream, so worker order cannot
+// reorder it.
+func lossDrawFromStream(rng *rand.Rand, p float64) bool {
+	return rng.Float64() < p
+}
+
+// outageWindowStart is the approved structural shape: which hosts go
+// dark, and when, is a pure hash of (network seed, host ID) — no RNG
+// at all, so every worker computes the same answer without locks.
+func outageWindowStart(seed int64, id string, horizonMs uint64) uint64 {
+	h := uint64(14695981039346656037) ^ uint64(seed)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * 1099511628211
+	}
+	return h % horizonMs
+}

@@ -30,3 +30,27 @@ func realSocketTimer() time.Time {
 func durationsAreFine(d time.Duration) float64 {
 	return float64(d) / float64(time.Millisecond)
 }
+
+// Fault-injection shapes (DESIGN.md §10). Retry backoff belongs on
+// the simulated clock: sleeping the goroutine would couple replay to
+// the host scheduler and stall the whole worker pool.
+func backoffByWallClock(attempt int) {
+	time.Sleep(time.Duration(attempt) * 250 * time.Millisecond) // want "wall-clock read time.Sleep"
+}
+
+// Landmark-outage windows and campaign budgets must not be enforced
+// with real timers either.
+func outageDeadlineByTimer(ms int) <-chan time.Time {
+	return time.After(time.Duration(ms) * time.Millisecond) // want "wall-clock read time.After"
+}
+
+// simClock mirrors netsim.Clock: simulated milliseconds advanced by
+// measured RTTs and backoff waits — the sanctioned shape for the
+// resilient measurement session.
+type simClock struct{ ms float64 }
+
+func (c *simClock) Advance(ms float64) { c.ms += ms }
+
+func backoffOnSimClock(c *simClock, attempt int) {
+	c.Advance(float64(int64(250) << uint(attempt)))
+}

@@ -115,6 +115,30 @@ type ServerError struct {
 	Err   error
 }
 
+// CoverageNote annotates one server's verdict with what its measurement
+// campaign lost under fault injection: the audit's answer to "how much
+// should this verdict be trusted?".
+type CoverageNote struct {
+	// Planned/Measured count landmarks attempted and landmarks that
+	// produced a usable sample.
+	Planned  int
+	Measured int
+	// Retries and ProbeFailures are the resilience layer's work:
+	// backoff-retry rounds and failed measurement attempts.
+	Retries       int
+	ProbeFailures int
+	// LostLandmarks are the landmarks that never answered (sorted).
+	LostLandmarks []netsim.HostID
+	// Disconnected marks a proxy that hung up mid-campaign;
+	// BudgetExhausted a campaign cut off by its deadline budget.
+	Disconnected    bool
+	BudgetExhausted bool
+	// Coverage is Measured/Planned; Confidence the derived grade
+	// (measure.ConfidenceFull/Degraded/Low).
+	Coverage   float64
+	Confidence string
+}
+
 // AuditRun is the memoized output of the full §6 pipeline.
 type AuditRun struct {
 	Results []*assess.Result
@@ -134,6 +158,17 @@ type AuditRun struct {
 	// counts behind Errors.
 	MeasureFailures int
 	LocateFailures  int
+
+	// Coverage maps server IDs to their degradation annotations. Only
+	// populated when fault injection is armed: on the fault-free path
+	// the map is empty and the audit output is unchanged.
+	Coverage map[string]CoverageNote
+	// Fault-resilience aggregates over all servers.
+	Retries         int
+	ProbeFailures   int
+	LostLandmarks   int
+	Disconnects     int
+	DegradedServers int // servers whose confidence is not "full"
 }
 
 // Audit runs (once) the full pipeline: for every server, self-ping,
@@ -156,6 +191,7 @@ func (l *Lab) Audit() (*AuditRun, error) {
 	run := &AuditRun{
 		byServer: make(map[string]*assess.Result, len(servers)),
 		Errors:   map[string]ServerError{},
+		Coverage: map[string]CoverageNote{},
 	}
 
 	// Stage 1: two-phase measurement through every proxy, batched.
@@ -170,6 +206,7 @@ func (l *Lab) Audit() (*AuditRun, error) {
 		Eta:         measure.DefaultEta,
 		Concurrency: l.Concurrency(),
 		Seed:        l.streamSeed(17),
+		Policy:      l.policy(),
 		OnProgress: func(done, total int) {
 			tel.Progress("audit.measure", done, total)
 		},
@@ -216,6 +253,19 @@ func (l *Lab) Audit() (*AuditRun, error) {
 				run.LocateFailures++
 			}
 		}
+		if res := measured[i].Result; res != nil && res.Deg != nil {
+			note := coverageNote(res.Deg)
+			run.Coverage[a.ServerID] = note
+			run.Retries += note.Retries
+			run.ProbeFailures += note.ProbeFailures
+			run.LostLandmarks += len(note.LostLandmarks)
+			if note.Disconnected {
+				run.Disconnects++
+			}
+			if note.Confidence != measure.ConfidenceFull {
+				run.DegradedServers++
+			}
+		}
 		if a.VerdictRaw == assess.Uncertain && a.Verdict != assess.Uncertain {
 			run.ReclassifiedByDC++
 		}
@@ -255,8 +305,31 @@ func (l *Lab) Audit() (*AuditRun, error) {
 	tel.Add("audit.failures.locate", int64(run.LocateFailures))
 	tel.Add("audit.reclassified.dc", int64(run.ReclassifiedByDC))
 	tel.Add("audit.reclassified.group", int64(run.ReclassifiedByGroup))
+	if len(run.Coverage) > 0 {
+		tel.Add("audit.faults.retries", int64(run.Retries))
+		tel.Add("audit.faults.probefailures", int64(run.ProbeFailures))
+		tel.Add("audit.faults.lostlandmarks", int64(run.LostLandmarks))
+		tel.Add("audit.faults.disconnects", int64(run.Disconnects))
+		tel.Add("audit.faults.degraded", int64(run.DegradedServers))
+	}
 	l.audit = run
 	return run, nil
+}
+
+// coverageNote converts a measurement-layer degradation ledger into the
+// audit's per-server annotation.
+func coverageNote(d *measure.Degradation) CoverageNote {
+	return CoverageNote{
+		Planned:         d.Planned,
+		Measured:        d.Measured,
+		Retries:         d.Retries,
+		ProbeFailures:   d.ProbeFailures,
+		LostLandmarks:   append([]netsim.HostID(nil), d.LostLandmarks...),
+		Disconnected:    d.Disconnected,
+		BudgetExhausted: d.BudgetExhausted,
+		Coverage:        d.Coverage(),
+		Confidence:      d.Confidence(),
+	}
 }
 
 func countUncertain(rs []*assess.Result) int {

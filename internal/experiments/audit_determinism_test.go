@@ -41,12 +41,23 @@ func auditFingerprint(run *AuditRun) string {
 		if e, ok := run.Errors[r.ServerID]; ok {
 			fmt.Fprintf(&b, "|err:%s:%v", e.Stage, e.Err)
 		}
+		// Coverage annotations only exist under fault injection, so the
+		// fault-free fingerprint is byte-identical to the pre-fault one.
+		if c, ok := run.Coverage[r.ServerID]; ok {
+			fmt.Fprintf(&b, "|cov:%d/%d:r%d:f%d:lost%v:disc%v:budget%v:%.4f:%s",
+				c.Measured, c.Planned, c.Retries, c.ProbeFailures, c.LostLandmarks,
+				c.Disconnected, c.BudgetExhausted, c.Coverage, c.Confidence)
+		}
 		b.WriteByte('\n')
 	}
 	t := assess.Tabulate(run.Results)
 	fmt.Fprintf(&b, "tally:%d/%d/%d offcont:%d samecont:%d dc:%d group:%d mfail:%d lfail:%d\n",
 		t.Credible, t.Uncertain, t.False, t.FalseOffContinent, t.UncertainSameCont,
 		run.ReclassifiedByDC, run.ReclassifiedByGroup, run.MeasureFailures, run.LocateFailures)
+	if len(run.Coverage) > 0 {
+		fmt.Fprintf(&b, "faults: retries:%d probefail:%d lost:%d disc:%d degraded:%d\n",
+			run.Retries, run.ProbeFailures, run.LostLandmarks, run.Disconnects, run.DegradedServers)
+	}
 	return b.String()
 }
 

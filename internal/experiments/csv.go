@@ -169,6 +169,29 @@ func WriteFig23CSV(w io.Writer, r *ConfusionResult) error {
 	return writeCSV(w, []string{"country_a", "country_b", "count"}, out)
 }
 
+// WriteRobustnessCSV emits the loss sweep in long form: one row per
+// (loss rate, algorithm) with the point's audit tallies and coverage
+// repeated alongside that algorithm's mean region size.
+func WriteRobustnessCSV(w io.Writer, r *RobustnessResult) error {
+	var out [][]string
+	for _, p := range r.Points {
+		for _, a := range p.Areas {
+			out = append(out, []string{
+				f(p.Loss), strconv.Itoa(p.Tally.Credible), strconv.Itoa(p.Tally.Uncertain),
+				strconv.Itoa(p.Tally.False), f(p.MeanCoverage),
+				strconv.Itoa(p.MeasureFailures), strconv.Itoa(p.DegradedServers),
+				strconv.Itoa(p.Disconnects), strconv.Itoa(p.LostLandmarks),
+				a.Algorithm, strconv.Itoa(a.Hosts), f(a.MeanAreaKm2),
+			})
+		}
+	}
+	return writeCSV(w, []string{
+		"loss", "credible", "uncertain", "false", "mean_coverage",
+		"measure_failures", "degraded_servers", "disconnects", "lost_landmarks",
+		"algorithm", "hosts", "mean_area_km2",
+	}, out)
+}
+
 // CSVName maps a figure ID to its export file name.
 func CSVName(fig string) string {
 	return fmt.Sprintf("%s.csv", fig)

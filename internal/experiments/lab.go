@@ -45,6 +45,12 @@ type Config struct {
 	// the entity's host ID, never from a generator shared across
 	// workers, so concurrency changes only wall-clock time.
 	Concurrency int
+	// Faults arms the netsim fault-injection layer for the measurement
+	// pipelines (it is applied after construction and calibration, so
+	// the landmark atlas is built on the clean network exactly as
+	// before). The zero value keeps every pipeline byte-identical to
+	// the fault-free engine.
+	Faults netsim.FaultConfig
 }
 
 // PaperConfig reproduces the paper's scale: 250 anchors, ~800 stable
@@ -178,7 +184,24 @@ func NewLab(cfg Config) (*Lab, error) {
 	}
 	lab.CBGpp = cbgpp.New(env, ppCal, cbgpp.Options{})
 
+	// Arm fault injection only now: the constellation's mesh calibration
+	// above always runs on the clean network, matching the paper's setup
+	// where landmark infrastructure is vetted before the audit begins.
+	net.SetFaults(cfg.Faults)
+
 	return lab, nil
+}
+
+// policy returns the measurement resilience policy matching the
+// network's live fault configuration: the default retry/backoff/budget
+// profile when faults are armed, the zero policy (historical fault-free
+// path, byte-identical output) otherwise. Reading the network rather
+// than Cfg lets the robustness sweep re-arm faults on a built lab.
+func (l *Lab) policy() measure.Policy {
+	if l.Net.Faults().Enabled() {
+		return measure.DefaultPolicy()
+	}
+	return measure.Policy{}
 }
 
 // Algorithms returns the four §3 algorithms in paper order (Figure 9).

@@ -33,6 +33,11 @@ type Batch struct {
 	// be concurrency-safe; completion order is scheduling-dependent
 	// even though results are not.
 	OnProgress func(done, total int)
+	// Policy, when enabled, routes every proxy through the resilient
+	// pipeline (retries, backoff, budgets, degradation ledgers); the
+	// zero Policy keeps the historical fault-free path, byte-identical
+	// to the pre-fault engine.
+	Policy Policy
 }
 
 // BatchResult is one proxy's outcome.
@@ -103,7 +108,13 @@ func (b *Batch) Run(ctx context.Context, proxies []netsim.HostID) []BatchResult 
 			defer func() { <-sem }()
 			// Per-proxy deterministic stream: independent of scheduling.
 			rng := rand.New(rand.NewSource(StreamSeed(b.Seed, p)))
-			res, err := ProxiedTwoPhase(b.Cons, b.Client, p, b.Eta, rng)
+			var res *Result
+			var err error
+			if b.Policy.Enabled() {
+				res, err = ProxiedTwoPhaseResilient(b.Cons, b.Client, p, b.Eta, b.Policy, rng)
+			} else {
+				res, err = ProxiedTwoPhase(b.Cons, b.Client, p, b.Eta, rng)
+			}
 			out[i].Result = res
 			out[i].Err = err
 			finish()

@@ -69,6 +69,9 @@ const HTTPPort = 80
 type CLITool struct {
 	Net      *netsim.Network
 	Attempts int // default 3
+	// Clock, when set, is advanced by the simulated time each probe
+	// consumes (nil pins the session to time zero).
+	Clock *netsim.Clock
 }
 
 func (t *CLITool) attempts() int {
@@ -82,7 +85,7 @@ func (t *CLITool) attempts() int {
 func (t *CLITool) Measure(from netsim.HostID, lm *atlas.Landmark, rng *rand.Rand) (Sample, error) {
 	best := -1.0
 	for i := 0; i < t.attempts(); i++ {
-		rtt, err := t.Net.TCPConnect(from, lm.Host.ID, HTTPPort, rng)
+		rtt, err := t.Net.Probe(from, lm.Host.ID, HTTPPort, rng, t.Clock)
 		if err != nil {
 			return Sample{}, fmt.Errorf("measure: cli %s→%s: %w", from, lm.Host.ID, err)
 		}
@@ -142,6 +145,9 @@ type WebTool struct {
 	OS       OS
 	Browser  Browser
 	Attempts int // default 3
+	// Clock, when set, is advanced by the simulated time each probe
+	// consumes (nil pins the session to time zero).
+	Clock *netsim.Clock
 }
 
 func (t *WebTool) attempts() int {
@@ -160,12 +166,12 @@ func (t *WebTool) Measure(from netsim.HostID, lm *atlas.Landmark, rng *rand.Rand
 	}
 	best := -1.0
 	for i := 0; i < t.attempts(); i++ {
-		rtt, err := t.Net.TCPConnect(from, lm.Host.ID, HTTPPort, rng)
+		rtt, err := t.Net.Probe(from, lm.Host.ID, HTTPPort, rng, t.Clock)
 		if err != nil {
 			return Sample{}, fmt.Errorf("measure: web %s→%s: %w", from, lm.Host.ID, err)
 		}
 		if trips == 2 {
-			extra, err := t.Net.TCPConnect(from, lm.Host.ID, HTTPPort, rng)
+			extra, err := t.Net.Probe(from, lm.Host.ID, HTTPPort, rng, t.Clock)
 			if err != nil {
 				return Sample{}, fmt.Errorf("measure: web %s→%s: %w", from, lm.Host.ID, err)
 			}
@@ -194,6 +200,10 @@ type TwoPhase struct {
 	// SecondPhase is the number of same-continent landmarks measured in
 	// phase two (paper: 25).
 	SecondPhase int
+	// Session, when set, routes every landmark measurement through the
+	// resilient path (retries, backoff, deadline budgets, degradation
+	// accounting); nil keeps the historical fault-free code path.
+	Session *Session
 }
 
 // Result is a completed two-phase measurement.
@@ -201,6 +211,9 @@ type Result struct {
 	Continent worldmap.Continent
 	Phase1    []Sample
 	Phase2    []Sample
+	// Deg is the degradation ledger of a resilient campaign (nil when
+	// the measurement ran on the fault-free path).
+	Deg *Degradation
 }
 
 // Samples returns both phases' samples.
@@ -242,7 +255,7 @@ func (tp *TwoPhase) Run(from netsim.HostID, rng *rand.Rand) (*Result, error) {
 			continue
 		}
 		for _, i := range rng.Perm(len(lms))[:min(perCont, len(lms))] {
-			s, err := tp.Tool.Measure(from, lms[i], rng)
+			s, err := tp.measure(from, lms[i], rng)
 			if err != nil {
 				continue // unreachable landmark: skip, like the real tool
 			}
@@ -253,6 +266,9 @@ func (tp *TwoPhase) Run(from netsim.HostID, rng *rand.Rand) (*Result, error) {
 		}
 	}
 	if len(res.Phase1) == 0 {
+		if tp.Session != nil {
+			tp.Session.finish()
+		}
 		return nil, ErrNoLandmarks
 	}
 	res.Continent = bestCont
@@ -261,16 +277,40 @@ func (tp *TwoPhase) Run(from netsim.HostID, rng *rand.Rand) (*Result, error) {
 	// deduced continent.
 	pool := byCont[bestCont]
 	if len(pool) == 0 {
+		tp.seal(res)
 		return res, nil
 	}
 	for _, i := range rng.Perm(len(pool))[:min(second, len(pool))] {
-		s, err := tp.Tool.Measure(from, pool[i], rng)
+		s, err := tp.measure(from, pool[i], rng)
 		if err != nil {
 			continue
 		}
 		res.Phase2 = append(res.Phase2, s)
 	}
+	tp.seal(res)
 	return res, nil
+}
+
+// measure routes one landmark measurement through the resilient session
+// when one is attached (tallying its outcome in the degradation
+// ledger), or straight to the tool on the historical path.
+func (tp *TwoPhase) measure(from netsim.HostID, lm *atlas.Landmark, rng *rand.Rand) (Sample, error) {
+	if tp.Session == nil {
+		return tp.Tool.Measure(from, lm, rng)
+	}
+	s, err := tp.Session.Measure(tp.Tool, from, lm, rng)
+	tp.Session.record(lm.Host.ID, err)
+	return s, err
+}
+
+// seal closes the resilient session's ledger (if any) and attaches it
+// to the result.
+func (tp *TwoPhase) seal(res *Result) {
+	if tp.Session == nil {
+		return
+	}
+	tp.Session.finish()
+	res.Deg = &tp.Session.Deg
 }
 
 func anchorsOf(lms []*atlas.Landmark) []*atlas.Landmark {

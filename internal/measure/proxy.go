@@ -29,6 +29,9 @@ type ProxiedTool struct {
 	Client   netsim.HostID
 	Proxy    netsim.HostID
 	Attempts int // default 3
+	// Clock, when set, is advanced by the simulated time each leg
+	// consumes (nil pins the session to time zero).
+	Clock *netsim.Clock
 }
 
 func (t *ProxiedTool) attempts() int {
@@ -48,7 +51,8 @@ func (t *ProxiedTool) Measure(_ netsim.HostID, lm *atlas.Landmark, rng *rand.Ran
 		if err != nil {
 			return Sample{}, fmt.Errorf("measure: proxied %s→%s: %w", t.Client, t.Proxy, err)
 		}
-		leg2, err := t.Net.TCPConnect(t.Proxy, lm.Host.ID, HTTPPort, rng)
+		t.Clock.Advance(leg1)
+		leg2, err := t.Net.Probe(t.Proxy, lm.Host.ID, HTTPPort, rng, t.Clock)
 		if err != nil {
 			return Sample{}, fmt.Errorf("measure: proxied %s→%s: %w", t.Proxy, lm.Host.ID, err)
 		}
@@ -75,6 +79,7 @@ func (t *ProxiedTool) SelfPing(rng *rand.Rand) (float64, error) {
 			return 0, err
 		}
 		v := out + back + proxyOverheadMs
+		t.Clock.Advance(v)
 		if best < 0 || v < best {
 			best = v
 		}

@@ -34,6 +34,13 @@ type Refiner struct {
 	// MinShrink is the relative area reduction a round must achieve to
 	// continue (default 0.05).
 	MinShrink float64
+	// Session, when set, routes every refinement measurement through
+	// the resilient path: failed landmarks retry with backoff on the
+	// simulated clock, budgets bound each round, and the degradation
+	// ledger records what refinement lost. A terminal session (proxy
+	// disconnected, campaign budget exhausted) stops refinement early
+	// with whatever region the completed rounds produced.
+	Session *Session
 }
 
 // RefineResult reports a refinement run.
@@ -96,6 +103,9 @@ func (r *Refiner) Run(from netsim.HostID, initial []geoloc.Measurement, rng *ran
 		if r.TargetAreaKm2 > 0 && res.Region.AreaKm2() <= r.TargetAreaKm2 {
 			break
 		}
+		if r.Session != nil && r.Session.Terminal() {
+			break
+		}
 		centroid, ok := res.Region.Centroid()
 		if !ok {
 			break
@@ -106,7 +116,7 @@ func (r *Refiner) Run(from netsim.HostID, initial []geoloc.Measurement, rng *ran
 		}
 		added := 0
 		for _, lm := range next {
-			s, err := r.Tool.Measure(from, lm, rng)
+			s, err := r.measure(from, lm, rng)
 			if err != nil {
 				continue
 			}
@@ -134,7 +144,21 @@ func (r *Refiner) Run(from netsim.HostID, initial []geoloc.Measurement, rng *ran
 		}
 	}
 	res.Measurements = ms
+	if r.Session != nil {
+		r.Session.finish()
+	}
 	return res, nil
+}
+
+// measure routes one refinement measurement through the resilient
+// session when one is attached, tallying the outcome in its ledger.
+func (r *Refiner) measure(from netsim.HostID, lm *atlas.Landmark, rng *rand.Rand) (Sample, error) {
+	if r.Session == nil {
+		return r.Tool.Measure(from, lm, rng)
+	}
+	s, err := r.Session.Measure(r.Tool, from, lm, rng)
+	r.Session.record(lm.Host.ID, err)
+	return s, err
 }
 
 // nearestUnused returns the n unused landmarks closest to p.

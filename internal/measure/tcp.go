@@ -39,6 +39,13 @@ func ConnectRTT(ctx context.Context, addr string) (time.Duration, error) {
 // fastest, skipping transient failures; it fails only when every attempt
 // fails.
 func MinConnectRTT(ctx context.Context, addr string, attempts int) (time.Duration, error) {
+	return minRTT(ctx, addr, attempts, ConnectRTT)
+}
+
+// minRTT is MinConnectRTT over an injectable probe — the same min-of-k
+// loop, parameterized so the loss/partial-failure paths are testable
+// without a lossy real network.
+func minRTT(ctx context.Context, addr string, attempts int, probe func(context.Context, string) (time.Duration, error)) (time.Duration, error) {
 	if attempts < 1 {
 		attempts = 3
 	}
@@ -46,7 +53,7 @@ func MinConnectRTT(ctx context.Context, addr string, attempts int) (time.Duratio
 	var lastErr error
 	ok := false
 	for i := 0; i < attempts; i++ {
-		rtt, err := ConnectRTT(ctx, addr)
+		rtt, err := probe(ctx, addr)
 		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {

@@ -101,6 +101,10 @@ type Network struct {
 
 	// congestion holds active congestion episodes.
 	congestion []CongestionEpisode
+
+	// faults is the fault-injection configuration (zero = disabled);
+	// see faults.go.
+	faults FaultConfig
 }
 
 // CongestionEpisode is a transient regional overload: every path with
