@@ -6,13 +6,19 @@
 #   make vuln          govulncheck, if installed; soft-fails offline
 #   make race          full test suite under the race detector
 #   make race-smoke    quick audit pipeline only, under the race detector
+#   make soak          32-client atlasd soak (determinism + graceful drain) under -race
+#   make fuzz-smoke    30s/target fuzz pass over the atlasd wire surface
+#   make cover         per-package coverage with an 85% floor on the service packages
 #   make bench-audit   serial-vs-parallel audit timing -> BENCH_audit.json
 #   make bench-locate  before/after geometry-kernel timing -> BENCH_locate.json
 #   make bench-faults  robustness sweep: tallies vs injected loss -> BENCH_faults.json
+#   make bench-atlasd  32-client coordination-service load test -> BENCH_atlasd.json
 
 GO ?= go
+FUZZTIME ?= 30s
+COVER_FLOOR ?= 85.0
 
-.PHONY: all vet lint vuln build test race race-smoke ci ci-local benchcompile fmtcheck bench-audit bench-locate bench-faults clean
+.PHONY: all vet lint vuln build test race race-smoke soak fuzz-smoke cover ci ci-local benchcompile fmtcheck bench-audit bench-locate bench-faults bench-atlasd clean
 
 all: ci
 
@@ -53,6 +59,36 @@ race:
 race-smoke:
 	$(GO) test -race -short -run '^TestAudit' ./internal/experiments
 
+# Service soak (DESIGN.md §11): 32 concurrent clients through the full
+# phase1→phase2→model→report loop under the race detector, asserting
+# byte-identical transcripts vs the serial run and an exactly-once
+# report ledger across a mid-soak graceful shutdown.
+soak:
+	$(GO) test -race -count=1 -run '^TestSoak' ./internal/loadgen
+
+# Native fuzzing over the atlasd wire surface: query parsing, model
+# path handling and report decoding, FUZZTIME per target. The seeded
+# malformed corpus also runs (for free) in every plain `go test`.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzPhase2Query$$' -fuzztime $(FUZZTIME) ./internal/atlasd
+	$(GO) test -run '^$$' -fuzz '^FuzzModelPath$$' -fuzztime $(FUZZTIME) ./internal/atlasd
+	$(GO) test -run '^$$' -fuzz '^FuzzReportDecode$$' -fuzztime $(FUZZTIME) ./internal/atlasd
+
+# Coverage floor on the service packages: the coordination server and
+# the load generator are concurrency-heavy, so untested branches there
+# are where the races and drain bugs hide. Profiles are left on disk
+# (cover_atlasd.out, cover_loadgen.out) for CI to archive.
+cover:
+	$(GO) test -coverprofile=cover_atlasd.out ./internal/atlasd
+	$(GO) test -coverprofile=cover_loadgen.out ./internal/loadgen
+	@for f in cover_atlasd.out cover_loadgen.out; do \
+		total=$$($(GO) tool cover -func=$$f | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		echo "$$f: total coverage $$total% (floor $(COVER_FLOOR)%)"; \
+		if [ "$$(awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { print (t+0 >= floor+0) }')" != "1" ]; then \
+			echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
+		fi; \
+	done
+
 # Every benchmark must at least compile and survive one iteration;
 # without this, bench-only code (reference implementations, metric
 # plumbing) can rot unnoticed between benchmark runs.
@@ -65,7 +101,7 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-ci: vet lint build test benchcompile fmtcheck race-smoke
+ci: vet lint build test benchcompile fmtcheck race-smoke soak cover fuzz-smoke
 
 # The same gate, under the name the README documents for pre-push runs:
 # what passes `make ci-local` passes the ci.yml workflow, nothing more.
@@ -89,6 +125,14 @@ bench-locate:
 bench-faults:
 	$(GO) run ./cmd/benchaudit -mode faults -out BENCH_faults.json
 
+# Coordination-service load test: serial vs 32-way-concurrent loadgen
+# runs (aborts unless byte-identical), plus a graceful-shutdown
+# scenario that must drop zero accepted reports, recorded in
+# BENCH_atlasd.json (DESIGN.md §11).
+bench-atlasd:
+	$(GO) run ./cmd/benchaudit -mode atlasd -out BENCH_atlasd.json
+
 clean:
-	rm -f BENCH_audit.json BENCH_locate.json BENCH_faults.json
+	rm -f BENCH_audit.json BENCH_locate.json BENCH_faults.json BENCH_atlasd.json
+	rm -f cover_atlasd.out cover_loadgen.out
 	$(GO) clean ./...

@@ -1,22 +1,30 @@
 // Command atlasd runs the measurement coordination server of §4.1 over
-// real HTTP: it builds a (simulated) landmark constellation, calibrates
-// the per-landmark delay–distance models, and serves landmark lists and
-// models to measurement tools, collecting their uploaded reports.
+// real HTTP: it builds a (simulated) landmark constellation and serves
+// landmark lists and lazily fitted delay–distance models to measurement
+// tools, collecting their uploaded reports.
 //
 // Usage:
 //
-//	atlasd [-addr 127.0.0.1:8080] [-anchors 120] [-probes 200] [-seed 2018]
+//	atlasd [-addr 127.0.0.1:8080] [-anchors 120] [-probes 200]
+//	       [-seed 2018] [-max-inflight 64] [-quiet]
 //
 // Endpoints:
 //
-//	GET  /v1/landmarks/phase1
-//	GET  /v1/landmarks/phase2?continent=Europe&n=25
+//	GET  /v1/landmarks/phase1?draw=K
+//	GET  /v1/landmarks/phase2?continent=Europe&n=25&draw=K
 //	GET  /v1/model/{landmark-id}
 //	POST /v1/report
+//	GET  /v1/metrics
 //	GET  /v1/healthz
+//
+// The server sheds load beyond -max-inflight with 429 + Retry-After.
+// On SIGINT/SIGTERM it stops accepting measurement-path work (503),
+// drains in-flight report batches, prints the telemetry summary and
+// exits — no accepted report is ever lost to a restart.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,11 +32,15 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"activegeo/internal/atlas"
 	"activegeo/internal/atlasd"
 	"activegeo/internal/cbg"
 	"activegeo/internal/netsim"
+	"activegeo/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +48,11 @@ func main() {
 	anchors := flag.Int("anchors", 120, "number of anchors")
 	probes := flag.Int("probes", 200, "number of stable probes")
 	seed := flag.Int64("seed", 2018, "world seed")
+	maxInflight := flag.Int("max-inflight", atlasd.DefaultMaxInflight,
+		"admitted concurrent measurement-path requests; excess load is shed with 429")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long shutdown waits for in-flight requests before giving up")
+	quiet := flag.Bool("quiet", false, "suppress per-request access logs")
 	flag.Parse()
 
 	simNet := netsim.New(*seed)
@@ -48,17 +65,50 @@ func main() {
 	if err != nil {
 		log.Fatalf("building constellation: %v", err)
 	}
-	cal, err := cbg.Calibrate(cons, cbg.Options{Slowline: true})
-	if err != nil {
-		log.Fatalf("calibrating: %v", err)
+
+	tel := telemetry.New()
+	var access *log.Logger
+	if !*quiet {
+		access = log.New(os.Stderr, "atlasd: ", log.LstdFlags)
 	}
-	srv := atlasd.NewServer(cons, cal, *seed)
+	srv := atlasd.NewServer(cons, atlasd.Config{
+		Seed:        *seed,
+		Opts:        cbg.Options{Slowline: true},
+		MaxInflight: *maxInflight,
+		Telemetry:   tel,
+		Log:         access,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "atlasd: %d anchors + %d probes calibrated; serving on http://%s\n",
-		*anchors, *probes, ln.Addr())
-	log.Fatal(http.Serve(ln, srv.Handler()))
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "atlasd: %d anchors + %d probes; models fit on demand; serving on http://%s (max-inflight %d)\n",
+		*anchors, *probes, ln.Addr(), *maxInflight)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "atlasd: %v: draining in-flight requests…\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "atlasd: drain: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "atlasd: shutdown: %v\n", err)
+	}
+	m := srv.Metrics()
+	fmt.Fprintf(os.Stderr, "atlasd: drained; %d reports ledgered (%d duplicates suppressed), %d model fits\n",
+		m.ReportsLedgered, m.DuplicateReports, m.ModelCache.Fits)
+	fmt.Fprint(os.Stderr, tel.Render())
 }

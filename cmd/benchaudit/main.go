@@ -26,9 +26,19 @@
 // tallies, coverage and mean region sizes vs. injected loss, and writes
 // BENCH_faults.json. The sweep is deterministic, so the JSON doubles as
 // a regression record of the loss-threshold result in DESIGN.md §10.
+//
+// Mode "atlasd" load-tests the coordination service (DESIGN.md §11):
+// 32 closed-loop clients run the full phase1→phase2→model→report
+// campaign against an in-process server, once serially and once fully
+// concurrently on fresh servers, and the run aborts unless every
+// client's transcript is byte-identical between the two. A third run
+// drains the server mid-soak and verifies no accepted report was
+// dropped or duplicated. Throughput, p50/p99 latency, shed rate and
+// model-cache coalescing go to BENCH_atlasd.json.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,9 +49,15 @@ import (
 	"time"
 
 	"activegeo/internal/assess"
+	"activegeo/internal/atlas"
+	"activegeo/internal/atlasd"
+	"activegeo/internal/cbg"
 	"activegeo/internal/experiments"
+	"activegeo/internal/geo"
 	"activegeo/internal/geoloc"
+	"activegeo/internal/loadgen"
 	"activegeo/internal/measure"
+	"activegeo/internal/netsim"
 	"activegeo/internal/refimpl"
 )
 
@@ -340,6 +356,204 @@ func runFaults(scale string, cfg experiments.Config, out string) {
 	fmt.Fprintf(os.Stderr, "swept %d loss rates in %v; wrote %s\n", len(rep.Points), wall.Round(time.Millisecond), out)
 }
 
+type atlasdReport struct {
+	Config      string `json:"config"`
+	Cores       int    `json:"cores"`
+	Landmarks   int    `json:"landmarks"`
+	Clients     int    `json:"clients"`
+	Iterations  int    `json:"iterations"`
+	SecondPhase int    `json:"second_phase"`
+	MaxInflight int    `json:"max_inflight"`
+
+	// Concurrent-vs-serial determinism run:
+	Ops                  int     `json:"ops"`
+	SerialWallMs         float64 `json:"serial_wall_ms"`
+	ConcurrentWallMs     float64 `json:"concurrent_wall_ms"`
+	ThroughputOps        float64 `json:"throughput_ops_per_sec"`
+	P50Ms                float64 `json:"p50_ms"`
+	P99Ms                float64 `json:"p99_ms"`
+	Shed                 int     `json:"shed"`
+	ShedRate             float64 `json:"shed_rate"`
+	TranscriptsIdentical bool    `json:"transcripts_identical"`
+	ModelFits            int64   `json:"model_fits"`
+	ModelCacheHits       int64   `json:"model_cache_hits"`
+	ModelCoalesced       int64   `json:"model_coalesced"`
+
+	// Graceful-shutdown run:
+	DrainStoppedClients int   `json:"drain_stopped_clients"`
+	DrainAccepted       int   `json:"drain_accepted_reports"`
+	DrainDropped        int   `json:"drain_dropped_reports"`
+	DuplicateReports    int64 `json:"duplicate_reports"`
+}
+
+// ledgerDiff cross-checks client-side 202 receipts against the server
+// ledger and returns how many receipts have no ledger entry (dropped)
+// plus how many ledger entries have no receipt (phantom). Both must be
+// zero for the exactly-once guarantee to hold.
+func ledgerDiff(srv *atlasd.Server, res *loadgen.Result) (dropped, phantom int) {
+	ledger := map[string]int{}
+	for _, rep := range srv.Reports() {
+		ledger[fmt.Sprintf("%s|%d", rep.Client, rep.Seq)]++
+	}
+	for _, st := range res.PerClient {
+		for _, seq := range st.AcceptedSeqs {
+			key := fmt.Sprintf("%s|%d", st.Client, seq)
+			if ledger[key] != 1 {
+				dropped++
+			}
+			delete(ledger, key)
+		}
+	}
+	for _, n := range ledger {
+		phantom += n
+	}
+	return dropped, phantom
+}
+
+func runAtlasd(scale, out string) {
+	const seed = 2018
+	clients, iterations, secondPhase := 32, 3, 8
+	anchors, probes := 40, 30
+	if scale == "paper" {
+		anchors, probes, iterations = 120, 200, 5
+	}
+
+	simNet := netsim.New(seed)
+	rng := rand.New(rand.NewSource(seed))
+	cons, err := atlas.Build(simNet, atlas.Config{Anchors: anchors, Probes: probes, SamplesPerPair: 3}, rng)
+	if err != nil {
+		log.Fatalf("building constellation: %v", err)
+	}
+	hosts := make([]netsim.HostID, clients)
+	for i := range hosts {
+		id := netsim.HostID(fmt.Sprintf("bench-client-%04d", i))
+		loc := geo.Point{Lat: -55 + 120*rng.Float64(), Lon: -175 + 350*rng.Float64()}
+		if err := simNet.AddHost(&netsim.Host{ID: id, Loc: loc}); err != nil {
+			log.Fatalf("adding vantage host: %v", err)
+		}
+		hosts[i] = id
+	}
+
+	newServer := func(maxInflight int) *atlasd.Server {
+		return atlasd.NewServer(cons, atlasd.Config{
+			Seed:        seed,
+			Opts:        cbg.Options{Slowline: true},
+			MaxInflight: maxInflight,
+		})
+	}
+	newRunner := func(srv *atlasd.Server) *loadgen.Runner {
+		return &loadgen.Runner{
+			Handler: srv.Handler(),
+			Tool:    &measure.CLITool{Net: cons.Net()},
+			Hosts:   hosts,
+		}
+	}
+	cfg := loadgen.Config{Clients: clients, Iterations: iterations, SecondPhase: secondPhase, Seed: seed}
+	ctx := context.Background()
+
+	// 1. Serial reference run on a fresh server.
+	serialCfg := cfg
+	serialCfg.Concurrency = 1
+	serial, err := newRunner(newServer(0)).Run(ctx, serialCfg)
+	if err != nil {
+		log.Fatalf("serial run: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "serial (1 at a time):   %d ops in %.0f ms\n", serial.Ops, serial.WallMs)
+
+	// 2. Fully concurrent run on another fresh server.
+	concSrv := newServer(0)
+	conc, err := newRunner(concSrv).Run(ctx, cfg)
+	if err != nil {
+		log.Fatalf("concurrent run: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "concurrent (%d clients): %d ops in %.0f ms (%.0f ops/s, p50 %.3f ms, p99 %.3f ms)\n",
+		clients, conc.Ops, conc.WallMs, conc.ThroughputOps, conc.P50Ms, conc.P99Ms)
+
+	if !loadgen.TranscriptsIdentical(serial, conc) {
+		log.Fatalf("determinism violation: concurrent transcripts differ from the serial run")
+	}
+	if d, p := ledgerDiff(concSrv, conc); d != 0 || p != 0 {
+		log.Fatalf("ledger mismatch in concurrent run: %d dropped, %d phantom", d, p)
+	}
+	cache := concSrv.Metrics().ModelCache
+	if maxFits := int64(len(cons.All()) + 1); cache.Fits > maxFits {
+		log.Fatalf("model cache did not coalesce: %d fits for %d landmarks", cache.Fits, len(cons.All()))
+	}
+	fmt.Fprintf(os.Stderr, "transcripts identical; model cache: %d fits, %d hits, %d coalesced\n",
+		cache.Fits, cache.Hits, cache.Coalesced)
+
+	// 3. Graceful shutdown under load: a small admission bound plus an
+	// over-long campaign; drain once every client has a ledgered report.
+	drainSrv := newServer(8)
+	drainCfg := cfg
+	drainCfg.Iterations = 50
+	resc := make(chan *loadgen.Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := newRunner(drainSrv).Run(ctx, drainCfg)
+		resc <- res
+		errc <- err
+	}()
+	deadline := time.Now().Add(60 * time.Second)
+	for drainSrv.Metrics().ReportsLedgered < clients {
+		if time.Now().After(deadline) {
+			log.Fatalf("shutdown scenario never ledgered a first round of reports")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if err := drainSrv.Drain(drainCtx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	drained := <-resc
+	if err := <-errc; err != nil {
+		log.Fatalf("shutdown run: %v", err)
+	}
+	stopped := 0
+	for _, st := range drained.PerClient {
+		if st.DrainStopped {
+			stopped++
+		}
+	}
+	dropped, phantom := ledgerDiff(drainSrv, drained)
+	if dropped != 0 || phantom != 0 {
+		log.Fatalf("graceful shutdown lost reports: %d dropped, %d phantom", dropped, phantom)
+	}
+	m := drainSrv.Metrics()
+	fmt.Fprintf(os.Stderr, "graceful shutdown: %d clients stopped by drain, %d reports accepted, 0 dropped (%d duplicate retries suppressed)\n",
+		stopped, drained.AcceptedReports, m.DuplicateReports)
+
+	writeJSON(out, atlasdReport{
+		Config:      scale,
+		Cores:       runtime.NumCPU(),
+		Landmarks:   len(cons.All()),
+		Clients:     clients,
+		Iterations:  iterations,
+		SecondPhase: secondPhase,
+		MaxInflight: atlasd.DefaultMaxInflight,
+
+		Ops:                  conc.Ops,
+		SerialWallMs:         serial.WallMs,
+		ConcurrentWallMs:     conc.WallMs,
+		ThroughputOps:        conc.ThroughputOps,
+		P50Ms:                conc.P50Ms,
+		P99Ms:                conc.P99Ms,
+		Shed:                 conc.Shed,
+		ShedRate:             conc.ShedRate(),
+		TranscriptsIdentical: true,
+		ModelFits:            cache.Fits,
+		ModelCacheHits:       cache.Hits,
+		ModelCoalesced:       cache.Coalesced,
+
+		DrainStoppedClients: stopped,
+		DrainAccepted:       drained.AcceptedReports,
+		DrainDropped:        dropped,
+		DuplicateReports:    m.DuplicateReports,
+	})
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+}
+
 func writeJSON(path string, v any) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -352,7 +566,7 @@ func writeJSON(path string, v any) {
 }
 
 func main() {
-	mode := flag.String("mode", "audit", "what to benchmark: audit, locate or faults")
+	mode := flag.String("mode", "audit", "what to benchmark: audit, locate, faults or atlasd")
 	scale := flag.String("scale", "quick", "audit scale: quick or paper")
 	out := flag.String("out", "", "output JSON path (default BENCH_<mode>.json)")
 	flag.Parse()
@@ -383,6 +597,11 @@ func main() {
 			*out = "BENCH_faults.json"
 		}
 		runFaults(*scale, cfg, *out)
+	case "atlasd":
+		if *out == "" {
+			*out = "BENCH_atlasd.json"
+		}
+		runAtlasd(*scale, *out)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}

@@ -74,9 +74,9 @@ type demoServer struct {
 	cons *atlas.Constellation
 	alg  *cbgpp.CBGPP
 	env  *geoloc.Env
+	seed int64
 
 	mu  sync.Mutex
-	rng *rand.Rand
 	seq int
 }
 
@@ -97,12 +97,15 @@ func (d *demoServer) handleLocate(w http.ResponseWriter, r *http.Request) {
 	d.seq++
 	target := netsim.HostID(fmt.Sprintf("demo-target-%04d", d.seq))
 	err := d.cons.Net().AddHost(&netsim.Host{ID: target, Loc: p})
-	rng := rand.New(rand.NewSource(d.rng.Int63()))
 	d.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	// Per-target noise stream, a pure function of (seed, target): no
+	// handler-shared *rand.Rand, so concurrent locates never perturb
+	// each other's measurements (sharedrand analyzer, DESIGN.md §6).
+	rng := rand.New(rand.NewSource(measure.StreamSeed(d.seed, target)))
 
 	tp := &measure.TwoPhase{Cons: d.cons, Tool: &measure.WebTool{Net: d.cons.Net()}}
 	res, err := tp.Run(target, rng)
@@ -167,7 +170,7 @@ func newDemoServer(seed int64) (*demoServer, error) {
 		cons: cons,
 		alg:  cbgpp.New(env, cal, cbgpp.Options{}),
 		env:  env,
-		rng:  rng,
+		seed: seed,
 	}, nil
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -16,11 +17,18 @@ import (
 //     declared outside the literal, or that passes one as an argument;
 //   - a function literal capturing an outer *rand.Rand handed to a
 //     worker-pool-shaped callee (name containing "parallel", "worker",
-//     "pool", "spawn" or "async", e.g. experiments.parallelFor).
+//     "pool", "spawn" or "async", e.g. experiments.parallelFor);
+//   - an HTTP handler — any func or method with the
+//     (http.ResponseWriter, *http.Request) signature — touching a
+//     *rand.Rand declared outside it (typically a server struct
+//     field). net/http serves every request on its own goroutine, so
+//     a handler-shared stream is a data race and makes responses
+//     depend on request arrival order — the pre-PR 5 atlasd bug.
 //
 // Serial callbacks (sort.Slice comparators and the like) stay
 // unflagged; per-entity streams derived inside the closure
-// (rngFor / measure.StreamSeed) are the approved pattern.
+// (rngFor / measure.StreamSeed) and stateless per-request draws
+// (atlasd.Server.drawRNG) are the approved patterns.
 func NewSharedrand() *Analyzer {
 	a := &Analyzer{
 		Name: "sharedrand",
@@ -30,6 +38,14 @@ func NewSharedrand() *Analyzer {
 		for _, f := range pass.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch s := n.(type) {
+				case *ast.FuncDecl:
+					if s.Body != nil && isHandlerSig(pass.TypeOf(s.Name)) {
+						reportHandlerRand(pass, s.Body, s.Name.Name)
+					}
+				case *ast.FuncLit:
+					if isHandlerSig(pass.TypeOf(s)) {
+						reportHandlerRand(pass, s.Body, "handler literal")
+					}
 				case *ast.GoStmt:
 					if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
 						reportCapturedRand(pass, lit, "go statement")
@@ -78,6 +94,60 @@ func reportCapturedRand(pass *Pass, lit *ast.FuncLit, where string) {
 		pass.Reportf(id.Pos(),
 			"*rand.Rand %q shared into a %s: every draw would depend on scheduling — derive a per-entity stream inside the closure",
 			obj.Name(), where)
+		return true
+	})
+}
+
+// isHandlerSig reports whether t is the http.HandlerFunc shape:
+// func(http.ResponseWriter, *http.Request).
+func isHandlerSig(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	return isNetHTTP(sig.Params().At(0).Type(), "ResponseWriter", false) &&
+		isNetHTTP(sig.Params().At(1).Type(), "Request", true)
+}
+
+// isNetHTTP reports whether t is net/http.<name> (or a pointer to it).
+func isNetHTTP(t types.Type, name string, wantPtr bool) bool {
+	if wantPtr {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// reportHandlerRand flags *rand.Rand objects referenced inside an HTTP
+// handler body but declared outside it — server-struct fields above
+// all. net/http runs handlers on concurrent serve goroutines, so such
+// a stream is shared state even behind a mutex.
+func reportHandlerRand(pass *Pass, body *ast.BlockStmt, name string) {
+	seen := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !isRandRand(obj.Type()) || declaredWithin(obj, body.Pos(), body.End()) {
+			return true
+		}
+		if seen[obj.Name()] {
+			return true
+		}
+		seen[obj.Name()] = true
+		pass.Reportf(id.Pos(),
+			"*rand.Rand %q used inside HTTP handler %s: handlers run on concurrent serve goroutines — make the response a stateless function of (seed, request) instead",
+			obj.Name(), name)
 		return true
 	})
 }

@@ -6,7 +6,10 @@
 package sharedrand
 
 import (
+	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"net/http"
 	"sort"
 	"sync"
 )
@@ -60,4 +63,40 @@ func serialComparator(rng *rand.Rand, xs []int) {
 		_ = rng
 		return xs[i] < xs[j]
 	})
+}
+
+// coordServer mirrors the pre-PR 5 atlasd shape: one stream stored on
+// the server struct and drawn from inside handlers. The mutex fixes
+// the data race but not the order dependence — every response still
+// depends on which request got to the stream first.
+type coordServer struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (s *coordServer) handleDraw(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	v := s.rng.Int63() // want "used inside HTTP handler handleDraw"
+	s.mu.Unlock()
+	fmt.Fprintln(w, v)
+}
+
+func handlerLiteral(rng *rand.Rand) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, rng.Int63()) // want "used inside HTTP handler handler literal"
+	})
+}
+
+// statelessDraw is the approved replacement: the response is a pure
+// function of (seed, request), so a stream derived inside the handler
+// is private to the request and identical at any concurrency.
+type statelessServer struct {
+	seed int64
+}
+
+func (s *statelessServer) handleDraw(w http.ResponseWriter, r *http.Request) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", s.seed, r.URL.Query().Get("draw"))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	fmt.Fprintln(w, rng.Int63())
 }

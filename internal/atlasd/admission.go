@@ -1,0 +1,161 @@
+package atlasd
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// statusRecorder captures the response status for counters and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// drainGate tracks in-flight measurement-path requests and the
+// draining flag under one mutex, so "enter unless draining" and
+// "drain waits for everyone who entered" are a single atomic protocol:
+// a request either increments the in-flight count before draining is
+// set — and drain waits for it — or it observes draining and is
+// rejected before touching any server state.
+type drainGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+	draining bool
+}
+
+func newDrainGate() *drainGate {
+	g := &drainGate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// enter admits the caller unless the gate is draining. Every true
+// return must be paired with exit.
+func (g *drainGate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.inflight++
+	return true
+}
+
+func (g *drainGate) exit() {
+	g.mu.Lock()
+	g.inflight--
+	if g.inflight == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+func (g *drainGate) beginDrain() {
+	g.mu.Lock()
+	g.draining = true
+	g.mu.Unlock()
+}
+
+func (g *drainGate) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// waitIdle blocks until no admitted request is in flight.
+func (g *drainGate) waitIdle() {
+	g.mu.Lock()
+	for g.inflight > 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// instrument wraps one endpoint handler with the server's operational
+// layers, outermost first:
+//
+//  1. drain gating — once BeginShutdown has been called, new
+//     measurement-path work is refused with 503 + Retry-After, while
+//     requests admitted before the drain hold the gate open until
+//     they finish (so every accepted /v1/report batch is ledgered
+//     before Drain returns);
+//  2. bounded admission — at most MaxInflight measurement-path
+//     requests run concurrently; excess load is shed immediately with
+//     429 + Retry-After rather than queued without bound;
+//  3. observability — per-endpoint request/error/shed counters,
+//     a latency distribution, and an access-log line.
+//
+// Ops endpoints (healthz, metrics) pass admitted=false: they bypass
+// the gate and the semaphore so the server stays observable while
+// shedding or draining.
+func (s *Server) instrument(name string, admitted bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.tel.Add("atlasd."+name+".requests", 1)
+		if admitted {
+			if !s.gate.enter() {
+				s.tel.Add("atlasd."+name+".drain_rejects", 1)
+				w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSec))
+				httpError(w, http.StatusServiceUnavailable, "draining")
+				return
+			}
+			defer s.gate.exit()
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.tel.Add("atlasd."+name+".shed", 1)
+				w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSec))
+				httpError(w, http.StatusTooManyRequests, "overloaded")
+				return
+			}
+		}
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		latMs := float64(time.Since(start).Microseconds()) / 1000
+		s.tel.Observe("atlasd."+name+".latency_ms", latMs)
+		if rec.status >= 400 {
+			s.tel.Add("atlasd."+name+".errors", 1)
+		}
+		if s.cfg.Log != nil {
+			s.cfg.Log.Printf("%s %s %d %.3fms", r.Method, r.URL.RequestURI(), rec.status, latMs)
+		}
+	}
+}
+
+// BeginShutdown puts the server into draining mode: measurement-path
+// requests are rejected with 503 from now on, while healthz and
+// metrics keep answering (healthz reports "draining").
+func (s *Server) BeginShutdown() { s.gate.beginDrain() }
+
+// Draining reports whether BeginShutdown has been called.
+func (s *Server) Draining() bool { return s.gate.isDraining() }
+
+// Drain begins shutdown (if not already begun) and blocks until every
+// in-flight measurement-path request has finished or ctx expires.
+// After a nil return, every report the server ever accepted with 202
+// is in the ledger and no measurement-path handler is running.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginShutdown()
+	done := make(chan struct{})
+	go func() {
+		s.gate.waitIdle()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

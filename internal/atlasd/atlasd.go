@@ -10,15 +10,40 @@
 //
 // The server speaks JSON over HTTP (net/http only):
 //
-//	GET  /v1/landmarks/phase1                 three anchors per continent
-//	GET  /v1/landmarks/phase2?continent=X&n=25  random same-continent landmarks
-//	GET  /v1/model/{landmark-id}              the landmark's bestline model
-//	POST /v1/report                           upload a measurement batch
-//	GET  /v1/healthz                          liveness
+//	GET  /v1/landmarks/phase1?draw=K              three anchors per continent
+//	GET  /v1/landmarks/phase2?continent=X&n=25&draw=K  same-continent landmarks
+//	GET  /v1/model/{landmark-id}                  the landmark's bestline model
+//	POST /v1/report                               upload a measurement batch
+//	GET  /v1/metrics                              per-endpoint observability
+//	GET  /v1/healthz                              liveness + drain state
 //
 // Landmarks are served with IPv4 addresses only, as the paper's server
 // does ("the commercial proxy servers we are studying offer only IPv4
 // connectivity").
+//
+// # Operational properties
+//
+// The server is built to be driven hard by many concurrent tools:
+//
+//   - Landmark selection is stateless: every draw is keyed by
+//     netsim.HashID over (seed, phase, continent, n, draw-key), so a
+//     response is a pure function of the request and the world seed —
+//     byte-identical at any concurrency, with no shared RNG stream.
+//     Clients spread load across each other by passing distinct draw
+//     keys (their client ID and campaign sequence number).
+//   - Delay-distance models are fitted lazily, once per landmark per
+//     epoch, behind a singleflight cache: concurrent requests for the
+//     same landmark coalesce onto one fit (see cache.go).
+//   - Admission is bounded: at most MaxInflight measurement-path
+//     requests run at once; excess load is shed immediately with
+//     429 + Retry-After instead of queueing unboundedly (admission.go).
+//   - Shutdown drains: BeginShutdown rejects new work with 503 while
+//     Drain waits for in-flight requests — in particular /v1/report
+//     batches already admitted — to finish, so every accepted report
+//     is ledgered exactly once.
+//   - Every endpoint is observable: request/error/shed counters and
+//     latency distributions via internal/telemetry, exposed at
+//     GET /v1/metrics and as access-log lines (metrics.go).
 package atlasd
 
 import (
@@ -31,10 +56,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"activegeo/internal/atlas"
 	"activegeo/internal/cbg"
 	"activegeo/internal/netsim"
+	"activegeo/internal/telemetry"
 	"activegeo/internal/worldmap"
 )
 
@@ -49,17 +77,22 @@ type LandmarkInfo struct {
 }
 
 // ModelInfo is the wire representation of a landmark's delay-distance
-// model (the CBG/CBG++ bestline).
+// model (the CBG/CBG++ bestline), fitted in the epoch reported.
 type ModelInfo struct {
 	LandmarkID   string  `json:"landmark_id"`
 	SlopeMsPerKm float64 `json:"slope_ms_per_km"`
 	InterceptMs  float64 `json:"intercept_ms"`
 	Pooled       bool    `json:"pooled"` // true when the pooled fallback was served
+	Epoch        int64   `json:"epoch"`
 }
 
-// Report is a measurement batch uploaded by a tool.
+// Report is a measurement batch uploaded by a tool. A non-zero Seq
+// makes the upload idempotent: the server ledgers each (client, seq)
+// pair exactly once, so a tool may safely retry after a shed or a
+// dropped connection.
 type Report struct {
 	Client  string         `json:"client"`
+	Seq     int64          `json:"seq,omitempty"`
 	Target  string         `json:"target,omitempty"`
 	Samples []ReportSample `json:"samples"`
 }
@@ -70,40 +103,125 @@ type ReportSample struct {
 	RTTms      float64 `json:"rtt_ms"`
 }
 
+// Config tunes a Server. The zero value plus a seed is a working
+// configuration.
+type Config struct {
+	// Seed is the world seed; landmark draws and model identity are
+	// pure functions of it.
+	Seed int64
+	// Opts configures the bestline fits (Slowline for CBG++-compatible
+	// models).
+	Opts cbg.Options
+	// MaxInflight bounds concurrently admitted measurement-path
+	// requests (landmarks, models, reports); excess requests are shed
+	// with 429. Zero means DefaultMaxInflight.
+	MaxInflight int
+	// RetryAfterSec is the Retry-After hint sent with 429 responses.
+	// Zero means 1.
+	RetryAfterSec int
+	// Telemetry receives per-endpoint counters and latency
+	// distributions. Nil allocates a private collector so /v1/metrics
+	// always works.
+	Telemetry *telemetry.Collector
+	// Log, when non-nil, receives one access-log line per request.
+	Log *log.Logger
+}
+
+// DefaultMaxInflight is the admission bound when Config.MaxInflight is
+// zero: generous for unit tests and single tools, finite for fleets.
+const DefaultMaxInflight = 64
+
 // Server coordinates measurements for one constellation.
 type Server struct {
-	cons *atlas.Constellation
-	cal  *cbg.Calibration
+	cons   *atlas.Constellation
+	cfg    Config
+	tel    *telemetry.Collector
+	models *modelCache
+	epoch  atomic.Int64
+	start  time.Time
+
+	sem  chan struct{}
+	gate *drainGate
 
 	mu      sync.Mutex
-	rng     *rand.Rand
 	reports []Report
+	seen    map[string]struct{} // client|seq pairs already ledgered
+	dupes   int64
 }
 
-// NewServer builds a coordination server. The rng drives phase-two
-// landmark selection (randomized to spread measurement load, §4.1).
-func NewServer(cons *atlas.Constellation, cal *cbg.Calibration, seed int64) *Server {
-	return &Server{cons: cons, cal: cal, rng: rand.New(rand.NewSource(seed))}
+// NewServer builds a coordination server over a calibrated-mesh
+// constellation. Models are fitted lazily on first request (one fit
+// per landmark per epoch); nothing is computed up front.
+func NewServer(cons *atlas.Constellation, cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.RetryAfterSec <= 0 {
+		cfg.RetryAfterSec = 1
+	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.New()
+	}
+	s := &Server{
+		cons:  cons,
+		cfg:   cfg,
+		tel:   tel,
+		start: time.Now(),
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		gate:  newDrainGate(),
+		seen:  make(map[string]struct{}),
+	}
+	s.models = newModelCache(s.fitModel)
+	return s
 }
 
-// Handler returns the HTTP handler tree.
+// Epoch returns the current model epoch.
+func (s *Server) Epoch() int64 { return s.epoch.Load() }
+
+// AdvanceEpoch starts a new model epoch: the paper's server refreshes
+// its delay-distance models daily, and each refresh invalidates every
+// cached fit. Returns the new epoch.
+func (s *Server) AdvanceEpoch() int64 {
+	e := s.epoch.Add(1)
+	s.models.reset()
+	return e
+}
+
+// Handler returns the HTTP handler tree, with every endpoint wrapped
+// in the admission/observability middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/landmarks/phase1", s.handlePhase1)
-	mux.HandleFunc("/v1/landmarks/phase2", s.handlePhase2)
-	mux.HandleFunc("/v1/model/", s.handleModel)
-	mux.HandleFunc("/v1/report", s.handleReport)
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("/v1/landmarks/phase1", s.instrument("phase1", true, s.handlePhase1))
+	mux.HandleFunc("/v1/landmarks/phase2", s.instrument("phase2", true, s.handlePhase2))
+	mux.HandleFunc("/v1/model/", s.instrument("model", true, s.handleModel))
+	mux.HandleFunc("/v1/report", s.instrument("report", true, s.handleReport))
+	mux.HandleFunc("/v1/metrics", s.instrument("metrics", false, s.handleMetrics))
+	mux.HandleFunc("/v1/healthz", s.instrument("healthz", false, s.handleHealthz))
 	return mux
 }
 
-// Reports returns a copy of every uploaded report.
+// Reports returns a copy of every ledgered report.
 func (s *Server) Reports() []Report {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]Report(nil), s.reports...)
+}
+
+// drawRNG derives the stateless selection stream for one request: a
+// pure function of (seed, phase, continent, n, draw), so identical
+// requests always receive identical responses, at any concurrency.
+func (s *Server) drawRNG(phase, continent string, n int, draw string) *rand.Rand {
+	key := fmt.Sprintf("%d|%s|%s|%d|%s", s.cfg.Seed, phase, continent, n, draw)
+	return rand.New(rand.NewSource(int64(netsim.HashID(netsim.HostID(key)))))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
 }
 
 func (s *Server) handlePhase1(w http.ResponseWriter, r *http.Request) {
@@ -120,9 +238,9 @@ func (s *Server) handlePhase1(w http.ResponseWriter, r *http.Request) {
 		}
 		perCont = n
 	}
+	draw := r.URL.Query().Get("draw")
 	byCont := s.cons.ByContinent()
 	var out []LandmarkInfo
-	s.mu.Lock()
 	for _, cont := range worldmap.AllContinents() {
 		var anchors []*atlas.Landmark
 		for _, lm := range byCont[cont] {
@@ -133,12 +251,12 @@ func (s *Server) handlePhase1(w http.ResponseWriter, r *http.Request) {
 		if len(anchors) == 0 {
 			continue
 		}
-		perm := s.rng.Perm(len(anchors))
+		rng := s.drawRNG("phase1", cont.String(), perCont, draw)
+		perm := rng.Perm(len(anchors))
 		for i := 0; i < perCont && i < len(anchors); i++ {
 			out = append(out, toInfo(anchors[perm[i]], cont))
 		}
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -167,13 +285,12 @@ func (s *Server) handlePhase2(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no landmarks on that continent")
 		return
 	}
+	rng := s.drawRNG("phase2", cont.String(), n, r.URL.Query().Get("draw"))
+	perm := rng.Perm(len(pool))
 	var out []LandmarkInfo
-	s.mu.Lock()
-	perm := s.rng.Perm(len(pool))
 	for i := 0; i < n && i < len(pool); i++ {
 		out = append(out, toInfo(pool[perm[i]], cont))
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -187,18 +304,67 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing landmark id")
 		return
 	}
-	lm := s.cons.Landmark(netsim.HostID(id))
-	if lm == nil {
+	if s.cons.Landmark(netsim.HostID(id)) == nil {
 		httpError(w, http.StatusNotFound, "unknown landmark")
 		return
 	}
-	line := s.cal.Line(lm.Host.ID)
-	writeJSON(w, http.StatusOK, ModelInfo{
+	m, err := s.models.get(id)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "model fit failed: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// fitModel is the expensive per-landmark operation the cache coalesces:
+// fit the landmark's bestline from its calibration mesh, falling back
+// to the pooled line (itself fitted once per epoch, under the cache key
+// pooledKey) for landmarks without their own scatter.
+func (s *Server) fitModel(id string) (ModelInfo, error) {
+	epoch := s.epoch.Load()
+	if id == pooledKey {
+		line, err := cbg.BestLine(oneWay(s.cons.Pooled()), s.cfg.Opts.Slowline)
+		if err != nil {
+			return ModelInfo{}, fmt.Errorf("pooled fit: %w", err)
+		}
+		return ModelInfo{
+			LandmarkID:   pooledKey,
+			SlopeMsPerKm: line.Slope,
+			InterceptMs:  line.Intercept,
+			Pooled:       true,
+			Epoch:        epoch,
+		}, nil
+	}
+	lm := s.cons.Landmark(netsim.HostID(id))
+	if lm == nil {
+		return ModelInfo{}, fmt.Errorf("unknown landmark %s", id)
+	}
+	pts := s.cons.Calibration(lm.Host.ID)
+	if lm.IsAnchor && len(pts) > 0 {
+		line, err := cbg.BestLine(oneWay(pts), s.cfg.Opts.Slowline)
+		if err != nil {
+			return ModelInfo{}, err
+		}
+		return ModelInfo{
+			LandmarkID:   id,
+			SlopeMsPerKm: line.Slope,
+			InterceptMs:  line.Intercept,
+			Epoch:        epoch,
+		}, nil
+	}
+	pooled, err := s.models.get(pooledKey)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return ModelInfo{
 		LandmarkID:   id,
-		SlopeMsPerKm: line.Slope,
-		InterceptMs:  line.Intercept,
-		Pooled:       line == s.cal.Pooled() && !lm.IsAnchor,
-	})
+		SlopeMsPerKm: pooled.SlopeMsPerKm,
+		InterceptMs:  pooled.InterceptMs,
+		// Anchors without mesh data are served the pooled line but not
+		// flagged, matching cbg.Calibration semantics.
+		Pooled: !lm.IsAnchor,
+		Epoch:  epoch,
+	}, nil
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -216,6 +382,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "report needs a client and samples")
 		return
 	}
+	if rep.Seq < 0 {
+		httpError(w, http.StatusBadRequest, "negative seq")
+		return
+	}
 	for _, smp := range rep.Samples {
 		if smp.RTTms <= 0 {
 			httpError(w, http.StatusBadRequest, "non-positive RTT")
@@ -227,8 +397,21 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Lock()
+	if rep.Seq > 0 {
+		key := rep.Client + "|" + strconv.FormatInt(rep.Seq, 10)
+		if _, dup := s.seen[key]; dup {
+			s.dupes++
+			s.mu.Unlock()
+			s.tel.Add("atlasd.report.duplicates", 1)
+			// Idempotent retry: same receipt as the first upload.
+			writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(rep.Samples)})
+			return
+		}
+		s.seen[key] = struct{}{}
+	}
 	s.reports = append(s.reports, rep)
 	s.mu.Unlock()
+	s.tel.Add("atlasd.report.samples", int64(len(rep.Samples)))
 	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(rep.Samples)})
 }
 

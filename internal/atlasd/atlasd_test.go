@@ -3,12 +3,14 @@ package atlasd
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"activegeo/internal/atlas"
 	"activegeo/internal/cbg"
@@ -17,14 +19,18 @@ import (
 	"activegeo/internal/netsim"
 )
 
+// cbgOptions mirrors the slowline calibration the old up-front fixture
+// used, so the lazily fitted models match it exactly.
+func cbgOptions() cbg.Options { return cbg.Options{Slowline: true} }
+
 var (
 	fixOnce sync.Once
-	fixSrv  *Server
 	fixCons *atlas.Constellation
 )
 
-func testServer(t *testing.T) (*httptest.Server, *Server) {
-	t.Helper()
+// testCons builds the shared landmark constellation once; servers are
+// cheap now (models fit lazily) so every test gets a fresh one.
+func testCons() *atlas.Constellation {
 	fixOnce.Do(func() {
 		net := netsim.New(31)
 		rng := rand.New(rand.NewSource(31))
@@ -32,16 +38,22 @@ func testServer(t *testing.T) (*httptest.Server, *Server) {
 		if err != nil {
 			panic(err)
 		}
-		cal, err := cbg.Calibrate(cons, cbg.Options{Slowline: true})
-		if err != nil {
-			panic(err)
-		}
 		fixCons = cons
-		fixSrv = NewServer(cons, cal, 31)
 	})
-	ts := httptest.NewServer(fixSrv.Handler())
+	return fixCons
+}
+
+func testServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	return testServerCfg(t, Config{Seed: 31, Opts: cbgOptions()})
+}
+
+func testServerCfg(t *testing.T, cfg Config) (*httptest.Server, *Server) {
+	t.Helper()
+	srv := NewServer(testCons(), cfg)
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return ts, fixSrv
+	return ts, srv
 }
 
 func client(ts *httptest.Server) *Client {
@@ -49,15 +61,19 @@ func client(ts *httptest.Server) *Client {
 }
 
 func TestHealthz(t *testing.T) {
-	ts, _ := testServer(t)
+	ts, srv := testServer(t)
 	if !client(ts).Healthy(context.Background()) {
 		t.Error("server not healthy")
+	}
+	srv.BeginShutdown()
+	if client(ts).Healthy(context.Background()) {
+		t.Error("draining server still reports ok")
 	}
 }
 
 func TestPhase1Landmarks(t *testing.T) {
 	ts, _ := testServer(t)
-	lms, err := client(ts).Phase1Landmarks(context.Background())
+	lms, err := client(ts).Phase1Landmarks(context.Background(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +103,7 @@ func TestPhase1Landmarks(t *testing.T) {
 func TestPhase2Landmarks(t *testing.T) {
 	ts, _ := testServer(t)
 	c := client(ts)
-	lms, err := c.Phase2Landmarks(context.Background(), "Europe", 10)
+	lms, err := c.Phase2Landmarks(context.Background(), "Europe", 10, "client-a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,27 +115,40 @@ func TestPhase2Landmarks(t *testing.T) {
 			t.Errorf("landmark %s on %s", lm.ID, lm.Continent)
 		}
 	}
-	// Random selection: two draws should (almost surely) differ.
-	again, err := c.Phase2Landmarks(context.Background(), "Europe", 10)
+	// Selection is stateless: the same draw key always yields the same
+	// set, a different key (almost surely) a different one.
+	again, err := c.Phase2Landmarks(context.Background(), "Europe", 10, "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(lms) {
+		t.Fatalf("repeat draw size %d != %d", len(again), len(lms))
+	}
+	for i := range lms {
+		if lms[i].ID != again[i].ID {
+			t.Errorf("repeat draw differs at %d: %s != %s", i, lms[i].ID, again[i].ID)
+		}
+	}
+	other, err := c.Phase2Landmarks(context.Background(), "Europe", 10, "client-b")
 	if err != nil {
 		t.Fatal(err)
 	}
 	same := true
 	for i := range lms {
-		if i >= len(again) || lms[i].ID != again[i].ID {
+		if i >= len(other) || lms[i].ID != other[i].ID {
 			same = false
 			break
 		}
 	}
 	if same && len(lms) >= 5 {
-		t.Error("two phase-2 draws identical; selection not randomized")
+		t.Error("two distinct draw keys produced identical selections")
 	}
 }
 
 func TestPhase2Errors(t *testing.T) {
 	ts, _ := testServer(t)
 	c := client(ts)
-	if _, err := c.Phase2Landmarks(context.Background(), "Atlantis", 10); err == nil {
+	if _, err := c.Phase2Landmarks(context.Background(), "Atlantis", 10, ""); err == nil {
 		t.Error("unknown continent should fail")
 	}
 	resp, err := http.Get(ts.URL + "/v1/landmarks/phase2?continent=Europe&n=99999")
@@ -161,6 +190,89 @@ func TestModelEndpoint(t *testing.T) {
 	}
 }
 
+func TestModelCacheCoalesces(t *testing.T) {
+	ts, srv := testServer(t)
+	c := client(ts)
+	ctx := context.Background()
+	anchor := string(fixCons.Anchors()[2].Host.ID)
+
+	// 16 concurrent fetches of the same landmark: exactly one fit.
+	var wg sync.WaitGroup
+	models := make([]*ModelInfo, 16)
+	for i := range models {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := c.Model(ctx, anchor)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			models[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i, m := range models {
+		if m == nil || *m != *models[0] {
+			t.Fatalf("model %d = %+v, want %+v", i, m, models[0])
+		}
+	}
+	stats := srv.Metrics().ModelCache
+	if stats.Fits != 1 {
+		t.Errorf("fits = %d, want exactly 1 for one landmark", stats.Fits)
+	}
+	if stats.Misses+stats.Hits < 16 {
+		t.Errorf("cache saw %d misses + %d hits for 16 requests", stats.Misses, stats.Hits)
+	}
+
+	// Serial re-fetches are pure cache hits.
+	before := srv.Metrics().ModelCache
+	for i := 0; i < 5; i++ {
+		if _, err := c.Model(ctx, anchor); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := srv.Metrics().ModelCache
+	if after.Fits != before.Fits {
+		t.Errorf("serial re-fetches refitted: %d -> %d", before.Fits, after.Fits)
+	}
+	if after.Hits-before.Hits != 5 {
+		t.Errorf("hits advanced by %d, want 5", after.Hits-before.Hits)
+	}
+}
+
+func TestAdvanceEpochRefits(t *testing.T) {
+	ts, srv := testServer(t)
+	c := client(ts)
+	ctx := context.Background()
+	anchor := string(fixCons.Anchors()[3].Host.ID)
+
+	m0, err := c.Model(ctx, anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.Epoch != 0 {
+		t.Errorf("first epoch = %d", m0.Epoch)
+	}
+	if e := srv.AdvanceEpoch(); e != 1 {
+		t.Fatalf("AdvanceEpoch = %d", e)
+	}
+	m1, err := c.Model(ctx, anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Epoch != 1 {
+		t.Errorf("post-advance epoch = %d", m1.Epoch)
+	}
+	// Same world, same landmark: the refitted line is identical.
+	if m1.SlopeMsPerKm != m0.SlopeMsPerKm || m1.InterceptMs != m0.InterceptMs {
+		t.Errorf("refit changed the model: %+v vs %+v", m1, m0)
+	}
+	if fits := srv.Metrics().ModelCache.Fits; fits != 1 {
+		t.Errorf("fits after reset = %d, want 1 (stats reset with the epoch)", fits)
+	}
+}
+
 func TestReportUploadAndValidation(t *testing.T) {
 	ts, srv := testServer(t)
 	c := client(ts)
@@ -191,11 +303,50 @@ func TestReportUploadAndValidation(t *testing.T) {
 		{Client: "x"},                      // no samples
 		{Client: "x", Samples: []ReportSample{{LandmarkID: string(anchor.Host.ID), RTTms: -1}}}, // bad RTT
 		{Client: "x", Samples: []ReportSample{{LandmarkID: "bogus", RTTms: 5}}},                 // unknown landmark
+		{Client: "x", Seq: -2, Samples: rep.Samples},                                            // negative seq
 	}
 	for i, r := range bad {
 		if err := c.Upload(context.Background(), r); err == nil {
 			t.Errorf("bad report %d accepted", i)
 		}
+	}
+}
+
+func TestReportExactlyOnce(t *testing.T) {
+	ts, srv := testServer(t)
+	c := client(ts)
+	anchor := fixCons.Anchors()[1]
+	rep := Report{
+		Client:  "dedup-client",
+		Seq:     7,
+		Samples: []ReportSample{{LandmarkID: string(anchor.Host.ID), RTTms: 10}},
+	}
+	// Upload the same (client, seq) three times — a shed-and-retry
+	// pattern; the ledger must hold exactly one copy.
+	for i := 0; i < 3; i++ {
+		if err := c.Upload(context.Background(), rep); err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+	}
+	n := 0
+	for _, r := range srv.Reports() {
+		if r.Client == "dedup-client" && r.Seq == 7 {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("ledgered %d copies, want exactly 1", n)
+	}
+	if d := srv.Metrics().DuplicateReports; d != 2 {
+		t.Errorf("duplicate count = %d, want 2", d)
+	}
+	// A different seq from the same client is a new report.
+	rep.Seq = 8
+	if err := c.Upload(context.Background(), rep); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Metrics().ReportsLedgered; got != 2 {
+		t.Errorf("ledger size = %d, want 2", got)
 	}
 }
 
@@ -232,6 +383,171 @@ func TestReportBodyLimit(t *testing.T) {
 	}
 }
 
+func TestAdmissionSheds(t *testing.T) {
+	ts, srv := testServerCfg(t, Config{Seed: 31, MaxInflight: 1})
+	// Occupy the single admission slot with a report upload whose body
+	// never finishes arriving until we say so.
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/report", pr)
+		if err != nil {
+			errc <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	// Wait until the slot is actually held.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().Endpoints["report"].Requests == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("report request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/landmarks/phase1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// Ops endpoints bypass admission even while the server is full.
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Errorf("metrics under load: %d", mresp.StatusCode)
+	}
+	if shed := srv.Metrics().Endpoints["phase1"].Shed; shed != 1 {
+		t.Errorf("shed counter = %d, want 1", shed)
+	}
+
+	// Release the slot; the held upload finishes normally.
+	if _, err := pw.Write([]byte(`{"client":"x","samples":[{"landmark_id":"` +
+		string(fixCons.Anchors()[0].Host.ID) + `","rtt_ms":5}]}`)); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if srv.Metrics().ReportsLedgered != 1 {
+		t.Error("held report not ledgered after release")
+	}
+}
+
+func TestDrainWaitsForInflightReports(t *testing.T) {
+	ts, srv := testServer(t)
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/report", pr)
+		if err != nil {
+			errc <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().Endpoints["report"].Requests == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("report request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv.BeginShutdown()
+	// New measurement-path work is refused…
+	resp, err := http.Get(ts.URL + "/v1/landmarks/phase1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status %d, want 503", resp.StatusCode)
+	}
+	// …while Drain waits for the in-flight batch.
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- srv.Drain(ctx)
+	}()
+	select {
+	case err := <-drainDone:
+		t.Fatalf("Drain returned %v with a report still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := pw.Write([]byte(`{"client":"drainer","samples":[{"landmark_id":"` +
+		string(fixCons.Anchors()[0].Host.ID) + `","rtt_ms":5}]}`)); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// The admitted batch was ledgered before Drain returned.
+	found := false
+	for _, r := range srv.Reports() {
+		if r.Client == "drainer" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("in-flight report lost across drain")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	c := client(ts)
+	ctx := context.Background()
+	if _, err := c.Phase1Landmarks(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Model(ctx, string(fixCons.Anchors()[0].Host.ID)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Endpoints["phase1"].Requests != 1 {
+		t.Errorf("phase1 requests = %d", m.Endpoints["phase1"].Requests)
+	}
+	if m.Endpoints["model"].Requests != 1 {
+		t.Errorf("model requests = %d", m.Endpoints["model"].Requests)
+	}
+	if m.ModelCache.Fits < 1 {
+		t.Error("no fits recorded")
+	}
+	if m.Endpoints["phase1"].P50Ms <= 0 {
+		t.Error("no latency recorded for phase1")
+	}
+	if m.MaxInflight != DefaultMaxInflight {
+		t.Errorf("max_inflight = %d", m.MaxInflight)
+	}
+}
+
 func TestEndToEndTwoPhaseOverHTTP(t *testing.T) {
 	// A client walks the full §4.1 protocol over the wire: phase 1 →
 	// deduce continent → phase 2 → fetch a model → upload results.
@@ -239,13 +555,13 @@ func TestEndToEndTwoPhaseOverHTTP(t *testing.T) {
 	c := client(ts)
 	ctx := context.Background()
 
-	p1, err := c.Phase1Landmarks(ctx)
+	p1, err := c.Phase1Landmarks(ctx, "e2e")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Pretend the lowest simulated RTT came from a European anchor.
 	continent := "Europe"
-	p2, err := c.Phase2Landmarks(ctx, continent, 5)
+	p2, err := c.Phase2Landmarks(ctx, continent, 5, "e2e")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +597,7 @@ func TestRemoteTwoPhase(t *testing.T) {
 		}
 	}
 	tool := &measure.CLITool{Net: net}
-	res, err := RemoteTwoPhase(ctx, c, tool, from, 10, rand.New(rand.NewSource(3)))
+	res, err := RemoteTwoPhase(ctx, c, tool, from, 10, 1, rand.New(rand.NewSource(3)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,10 +610,27 @@ func TestRemoteTwoPhase(t *testing.T) {
 	if len(res.Phase2) > 10 {
 		t.Errorf("phase 2 oversubscribed: %d", len(res.Phase2))
 	}
-	// The report landed on the server.
+	if !res.Accepted {
+		t.Error("report not acknowledged")
+	}
+	// Every phase-2 landmark came with its delay-distance model.
+	if len(res.Models) != len(res.Phase2) {
+		t.Errorf("models = %d, phase-2 samples = %d", len(res.Models), len(res.Phase2))
+	}
+	for _, s := range res.Phase2 {
+		m, ok := res.Models[string(s.LandmarkID)]
+		if !ok {
+			t.Errorf("no model for %s", s.LandmarkID)
+			continue
+		}
+		if m.SlopeMsPerKm < 1.0/200-1e-12 {
+			t.Errorf("model for %s faster than baseline", s.LandmarkID)
+		}
+	}
+	// The report landed on the server under the campaign seq.
 	found := false
 	for _, r := range srv.Reports() {
-		if r.Client == string(from) {
+		if r.Client == string(from) && r.Seq == 1 {
 			found = true
 		}
 	}
@@ -324,6 +657,10 @@ func TestJSONShapes(t *testing.T) {
 	b, _ = json.Marshal(ModelInfo{LandmarkID: "a"})
 	if !strings.Contains(string(b), `"slope_ms_per_km"`) {
 		t.Errorf("ModelInfo JSON: %s", b)
+	}
+	b, _ = json.Marshal(Report{Client: "c", Seq: 3})
+	if !strings.Contains(string(b), `"seq"`) {
+		t.Errorf("Report JSON missing seq: %s", b)
 	}
 }
 

@@ -4,12 +4,33 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 )
+
+// HTTPError is a non-2xx server response. It unwraps to ErrServer, so
+// errors.Is(err, ErrServer) keeps working for every caller.
+type HTTPError struct {
+	Status        int
+	Msg           string
+	RetryAfterSec int // parsed Retry-After hint, 0 when absent
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("atlasd: server returned %d: %s", e.Status, e.Msg)
+}
+
+// Is makes errors.Is(err, ErrServer) true for every HTTPError.
+func (e *HTTPError) Is(target error) bool { return target == ErrServer }
+
+// Temporary reports whether the request is worth retrying: shed load
+// (429). A 503 means the server is draining for shutdown — terminal.
+func (e *HTTPError) Temporary() bool { return e.Status == http.StatusTooManyRequests }
 
 // Client talks to a coordination server.
 type Client struct {
@@ -26,20 +47,32 @@ func (c *Client) http() *http.Client {
 	return &http.Client{Timeout: 10 * time.Second}
 }
 
-func (c *Client) get(ctx context.Context, path string, out interface{}) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
-	if err != nil {
-		return err
-	}
+func (c *Client) do(req *http.Request, out interface{}) error {
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("%w: %s on %s: %s", ErrServer, resp.Status, path, readErr(resp.Body))
+		he := &HTTPError{Status: resp.StatusCode, Msg: readErr(resp.Body)}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			he.RetryAfterSec = ra
+		}
+		return he
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body) // drain for keep-alive
+		return err
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
 }
 
 func readErr(r io.Reader) string {
@@ -52,19 +85,35 @@ func readErr(r io.Reader) string {
 	return "unknown error"
 }
 
+// drawParam encodes the optional stateless-selection draw key.
+func drawParam(draw string) string {
+	if draw == "" {
+		return ""
+	}
+	return "&draw=" + url.QueryEscape(draw)
+}
+
 // Phase1Landmarks fetches the widely dispersed phase-one anchor set.
-func (c *Client) Phase1Landmarks(ctx context.Context) ([]LandmarkInfo, error) {
+// The draw key selects which deterministic permutation the server
+// serves; distinct clients pass distinct keys to spread load.
+func (c *Client) Phase1Landmarks(ctx context.Context, draw string) ([]LandmarkInfo, error) {
 	var out []LandmarkInfo
-	if err := c.get(ctx, "/v1/landmarks/phase1", &out); err != nil {
+	path := "/v1/landmarks/phase1"
+	if draw != "" {
+		path += "?draw=" + url.QueryEscape(draw)
+	}
+	if err := c.get(ctx, path, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// Phase2Landmarks fetches n random landmarks on a continent.
-func (c *Client) Phase2Landmarks(ctx context.Context, continent string, n int) ([]LandmarkInfo, error) {
+// Phase2Landmarks fetches n landmarks on a continent, permuted by the
+// draw key.
+func (c *Client) Phase2Landmarks(ctx context.Context, continent string, n int, draw string) ([]LandmarkInfo, error) {
 	var out []LandmarkInfo
-	path := fmt.Sprintf("/v1/landmarks/phase2?continent=%s&n=%d", url.QueryEscape(continent), n)
+	path := fmt.Sprintf("/v1/landmarks/phase2?continent=%s&n=%d%s",
+		url.QueryEscape(continent), n, drawParam(draw))
 	if err := c.get(ctx, path, &out); err != nil {
 		return nil, err
 	}
@@ -91,20 +140,50 @@ func (c *Client) Upload(ctx context.Context, rep Report) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return err
+	return c.do(req, nil)
+}
+
+// Metrics fetches the server's observability snapshot.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	var out Metrics
+	if err := c.get(ctx, "/v1/metrics", &out); err != nil {
+		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("%w: %s: %s", ErrServer, resp.Status, readErr(resp.Body))
-	}
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
-	return nil
+	return &out, nil
 }
 
 // Healthy reports whether the server answers its liveness probe.
 func (c *Client) Healthy(ctx context.Context) bool {
 	var out map[string]string
 	return c.get(ctx, "/v1/healthz", &out) == nil && out["status"] == "ok"
+}
+
+// Retry wraps one client call with shed-aware retries: 429 responses
+// (bounded admission shedding load) are retried with exponential
+// backoff, every other failure — including 503, the server draining
+// for shutdown — is returned immediately. The backoff starts small so
+// in-process soak tests converge quickly; the server's Retry-After is
+// a hint for human-scale clients, not a mandate.
+func Retry(ctx context.Context, attempts int, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := time.Millisecond
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = fn()
+		var he *HTTPError
+		if err == nil || !errors.As(err, &he) || !he.Temporary() {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 64*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	return err
 }

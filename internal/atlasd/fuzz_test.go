@@ -1,0 +1,218 @@
+package atlasd
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/cbg"
+	"activegeo/internal/netsim"
+)
+
+// The fuzz fixture is deliberately tiny — fuzzing throughput matters
+// more than landmark realism — and shared by all three targets. The
+// server is safe for concurrent use, and fuzz workers run in separate
+// processes anyway, so one per process is enough.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+	fuzzMux  http.Handler
+	fuzzID   string // one known-good landmark id
+)
+
+func fuzzServer() (http.Handler, *Server) {
+	fuzzOnce.Do(func() {
+		net := netsim.New(7)
+		rng := rand.New(rand.NewSource(7))
+		cons, err := atlas.Build(net, atlas.Config{Anchors: 12, Probes: 8, SamplesPerPair: 2}, rng)
+		if err != nil {
+			panic(err)
+		}
+		fuzzSrv = NewServer(cons, Config{Seed: 7, Opts: cbg.Options{Slowline: true}})
+		fuzzMux = fuzzSrv.Handler()
+		fuzzID = string(cons.All()[0].Host.ID)
+	})
+	return fuzzMux, fuzzSrv
+}
+
+// serveRaw drives the full middleware-wrapped handler tree with a
+// hand-built request, bypassing http.NewRequest's URL validation so
+// the fuzzer can reach the handlers with inputs a hostile client could
+// send down a raw socket.
+func serveRaw(h http.Handler, method, path, rawQuery string, body []byte) *httptest.ResponseRecorder {
+	req := &http.Request{
+		Method: method,
+		URL:    &url.URL{Path: path, RawQuery: rawQuery},
+		Header: make(http.Header),
+	}
+	if body != nil {
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		req.ContentLength = int64(len(body))
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// FuzzPhase2Query throws arbitrary continent/n/draw query strings at
+// /v1/landmarks/phase2. Invariants: the handler never panics, answers
+// only 200/400/404, any 200 body is well-formed JSON whose landmarks
+// all belong to the requested continent, and the response is a pure
+// function of the query — replaying the same request yields the same
+// bytes.
+func FuzzPhase2Query(f *testing.F) {
+	f.Add("Europe", "5", "client-a|1")
+	f.Add("Europe", "1", "")
+	f.Add("Atlantis", "5", "x")         // unknown continent
+	f.Add("", "5", "x")                 // missing continent
+	f.Add("Europe", "-3", "x")          // n < 0
+	f.Add("Europe", "0", "x")           // n below range
+	f.Add("Europe", "501", "x")         // n above range
+	f.Add("Europe", "fifty", "x")       // non-numeric n
+	f.Add("Europe", "5;drop", "draw=1") // query metacharacters
+	f.Add("North America", "25", "\x00\xff")
+
+	h, _ := fuzzServer()
+	f.Fuzz(func(t *testing.T, continent, n, draw string) {
+		q := url.Values{}
+		if continent != "" {
+			q.Set("continent", continent)
+		}
+		if n != "" {
+			q.Set("n", n)
+		}
+		if draw != "" {
+			q.Set("draw", draw)
+		}
+		rec := serveRaw(h, http.MethodGet, "/v1/landmarks/phase2", q.Encode(), nil)
+		switch rec.Code {
+		case http.StatusOK:
+			var out []LandmarkInfo
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("200 with malformed body: %v", err)
+			}
+			if len(out) == 0 {
+				t.Fatal("200 with zero landmarks")
+			}
+			for _, lm := range out {
+				if lm.ID == "" || math.IsNaN(lm.Lat) || math.IsNaN(lm.Lon) {
+					t.Fatalf("bad landmark in 200 response: %+v", lm)
+				}
+			}
+		case http.StatusBadRequest, http.StatusNotFound:
+			// rejected — fine
+		default:
+			t.Fatalf("unexpected status %d for %q", rec.Code, q.Encode())
+		}
+		again := serveRaw(h, http.MethodGet, "/v1/landmarks/phase2", q.Encode(), nil)
+		if !bytes.Equal(rec.Body.Bytes(), again.Body.Bytes()) {
+			t.Fatalf("replaying %q changed the response", q.Encode())
+		}
+	})
+}
+
+// FuzzModelPath throws arbitrary landmark ids at /v1/model/. 200 means
+// a finite, positive-slope model for exactly the requested id; anything
+// else must be a clean 400/404 (or the mux's 301 path canonicalisation
+// for ids with embedded slashes/dots), never a panic or a 500.
+func FuzzModelPath(f *testing.F) {
+	h, srv := fuzzServer()
+	f.Add(fuzzID)
+	f.Add("")
+	f.Add("no-such-landmark")
+	f.Add("../../etc/passwd")
+	f.Add(fuzzID + "/extra")
+	f.Add("a\x00b")
+	f.Add("..")
+
+	f.Fuzz(func(t *testing.T, id string) {
+		rec := serveRaw(h, http.MethodGet, "/v1/model/"+id, "", nil)
+		switch rec.Code {
+		case http.StatusOK:
+			var m ModelInfo
+			if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+				t.Fatalf("200 with malformed body: %v", err)
+			}
+			if m.LandmarkID != id {
+				t.Fatalf("asked for %q, got model for %q", id, m.LandmarkID)
+			}
+			if !(m.SlopeMsPerKm > 0) || math.IsNaN(m.InterceptMs) || math.IsInf(m.InterceptMs, 0) {
+				t.Fatalf("degenerate model: %+v", m)
+			}
+			if m.Epoch != srv.Epoch() {
+				t.Fatalf("model from epoch %d, server at %d", m.Epoch, srv.Epoch())
+			}
+		case http.StatusBadRequest, http.StatusNotFound, http.StatusMovedPermanently:
+			// rejected or path-canonicalised — fine
+		default:
+			t.Fatalf("unexpected status %d for id %q", rec.Code, id)
+		}
+	})
+}
+
+// FuzzReportDecode throws arbitrary bodies at POST /v1/report. The
+// server must answer 202 or 400 without panicking, and the ledger may
+// only grow on 202 — a rejected body never leaves partial state.
+func FuzzReportDecode(f *testing.F) {
+	h, srv := fuzzServer()
+	good := func(seq int64) []byte {
+		rep := Report{
+			Client: "fuzz-client",
+			Seq:    seq,
+			Samples: []ReportSample{
+				{LandmarkID: fuzzID, RTTms: 42.5},
+			},
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	f.Add(good(1))
+	f.Add(good(0))
+	f.Add([]byte(`{"client":"c","seq":-1,"samples":[{"landmark_id":"` + fuzzID + `","rtt_ms":1}]}`))     // negative seq
+	f.Add([]byte(`{"client":"c","samples":[{"landmark_id":"nope","rtt_ms":1}]}`))                        // unknown landmark
+	f.Add([]byte(`{"client":"c","samples":[{"landmark_id":"` + fuzzID + `","rtt_ms":-3}]}`))             // non-positive RTT
+	f.Add([]byte(`{"client":"c","samples":[]}`))                                                         // no samples
+	f.Add([]byte(`{"client":"c","samples":[{"landmark_id":"` + fuzzID + `","rtt_ms":1}`))                // truncated JSON
+	f.Add([]byte(`{"client":"c","client":"d","samples":[{"landmark_id":"` + fuzzID + `","rtt_ms":1}]}`)) // duplicate field
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte("\x00\x01\x02"))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		before := len(srv.Reports())
+		rec := serveRaw(h, http.MethodPost, "/v1/report", "", body)
+		after := len(srv.Reports())
+		switch rec.Code {
+		case http.StatusAccepted:
+			var receipt map[string]int
+			if err := json.Unmarshal(rec.Body.Bytes(), &receipt); err != nil {
+				t.Fatalf("202 with malformed receipt: %v", err)
+			}
+			if receipt["accepted"] < 1 {
+				t.Fatalf("202 accepting %d samples", receipt["accepted"])
+			}
+			// after == before is legal: an idempotent duplicate receipt.
+			if after < before || after > before+1 {
+				t.Fatalf("ledger went %d -> %d on one upload", before, after)
+			}
+		case http.StatusBadRequest:
+			if after != before {
+				t.Fatalf("rejected body still grew the ledger: %d -> %d", before, after)
+			}
+		default:
+			t.Fatalf("unexpected status %d for %q", rec.Code, body)
+		}
+	})
+}

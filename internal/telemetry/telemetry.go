@@ -17,10 +17,13 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"activegeo/internal/mathx"
 )
 
 // Stage is the accumulated cost of one named pipeline stage. A stage
@@ -45,13 +48,16 @@ type Progress struct {
 	Total int
 }
 
-// Collector gathers stages, counters and progress for one pipeline run.
+// Collector gathers stages, counters, distributions and progress for
+// one pipeline run.
 type Collector struct {
 	mu       sync.Mutex
 	order    []string
 	stages   map[string]*Stage
 	corder   []string
 	counters map[string]int64
+	dorder   []string
+	dists    map[string]*dist
 	progress func(Progress)
 }
 
@@ -60,6 +66,7 @@ func New() *Collector {
 	return &Collector{
 		stages:   make(map[string]*Stage),
 		counters: make(map[string]int64),
+		dists:    make(map[string]*dist),
 	}
 }
 
@@ -138,6 +145,125 @@ func (c *Collector) Count(name string) int64 {
 	return c.counters[name]
 }
 
+// distCap bounds the per-distribution sample reservoir. When the
+// reservoir fills, every other kept sample is dropped and the keep
+// stride doubles, so memory stays bounded while the kept set remains an
+// even systematic sample of the observation sequence.
+const distCap = 4096
+
+// dist accumulates one named value distribution.
+type dist struct {
+	count    int64
+	sum      float64
+	min, max float64
+	stride   int64 // keep one observation in every stride
+	kept     []float64
+}
+
+func (d *dist) observe(v float64) {
+	if d.count == 0 {
+		d.min, d.max = v, v
+	} else {
+		if v < d.min {
+			d.min = v
+		}
+		if v > d.max {
+			d.max = v
+		}
+	}
+	if d.count%d.stride == 0 {
+		if len(d.kept) == distCap {
+			half := d.kept[:0]
+			for i := 0; i < distCap; i += 2 {
+				half = append(half, d.kept[i])
+			}
+			d.kept = half
+			d.stride *= 2
+		}
+		d.kept = append(d.kept, v)
+	}
+	d.count++
+	d.sum += v
+}
+
+// DistSnapshot is a point-in-time summary of one distribution. The
+// quantiles are computed over the reservoir, which is exact until
+// distCap observations and a systematic subsample after.
+type DistSnapshot struct {
+	Name  string
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P90   float64
+	P99   float64
+}
+
+// Mean returns the arithmetic mean of all observations.
+func (s DistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Observe folds one value into the named distribution.
+func (c *Collector) Observe(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.dists[name]
+	if d == nil {
+		d = &dist{stride: 1}
+		c.dists[name] = d
+		c.dorder = append(c.dorder, name)
+	}
+	d.observe(v)
+}
+
+func (d *dist) snapshot(name string) DistSnapshot {
+	s := DistSnapshot{Name: name, Count: d.count, Sum: d.sum, Min: d.min, Max: d.max}
+	if len(d.kept) > 0 {
+		s.P50 = mathx.Quantile(d.kept, 0.50)
+		s.P90 = mathx.Quantile(d.kept, 0.90)
+		s.P99 = mathx.Quantile(d.kept, 0.99)
+	}
+	return s
+}
+
+// Distribution returns a snapshot of one named distribution; the
+// second result is false if nothing was ever observed under that name.
+func (c *Collector) Distribution(name string) (DistSnapshot, bool) {
+	if c == nil {
+		return DistSnapshot{Name: name}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.dists[name]
+	if d == nil {
+		return DistSnapshot{Name: name}, false
+	}
+	return d.snapshot(name), true
+}
+
+// Distributions returns snapshots of every distribution in
+// first-observation order.
+func (c *Collector) Distributions() []DistSnapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]DistSnapshot, 0, len(c.dorder))
+	for _, name := range c.dorder {
+		out = append(out, c.dists[name].snapshot(name))
+	}
+	return out
+}
+
 // Progress forwards a progress event to the registered callback.
 func (c *Collector) Progress(stage string, done, total int) {
 	if c == nil {
@@ -204,6 +330,16 @@ func (c *Collector) Render() string {
 		fmt.Fprintf(&b, "telemetry | counters:\n")
 		for _, name := range names {
 			fmt.Fprintf(&b, "  %-24s %d\n", name, c.counters[name])
+		}
+	}
+	if len(c.dorder) > 0 {
+		names := append([]string(nil), c.dorder...)
+		sort.Strings(names)
+		fmt.Fprintf(&b, "telemetry | distributions:\n")
+		for _, name := range names {
+			s := c.dists[name].snapshot(name)
+			fmt.Fprintf(&b, "  %-24s n=%d  mean %.3f  p50 %.3f  p99 %.3f  max %.3f\n",
+				name, s.Count, s.Mean(), s.P50, s.P99, s.Max)
 		}
 	}
 	return b.String()

@@ -93,3 +93,95 @@ func TestProgressCallback(t *testing.T) {
 		t.Errorf("event = %+v", events[1])
 	}
 }
+
+func TestNilCollectorObserve(t *testing.T) {
+	var c *Collector
+	c.Observe("lat", 1.0) // must not panic
+	if _, ok := c.Distribution("lat"); ok {
+		t.Error("nil collector has a distribution")
+	}
+	if c.Distributions() != nil {
+		t.Error("nil collector returned distributions")
+	}
+}
+
+func TestDistributionExactSmall(t *testing.T) {
+	c := New()
+	for i := 1; i <= 100; i++ {
+		c.Observe("lat", float64(i))
+	}
+	s, ok := c.Distribution("lat")
+	if !ok {
+		t.Fatal("distribution missing")
+	}
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("count/min/max = %d/%v/%v", s.Count, s.Min, s.Max)
+	}
+	if got := s.Mean(); got != 50.5 {
+		t.Errorf("mean = %v", got)
+	}
+	// Exact below the reservoir cap: p50 of 1..100 interpolates to 50.5.
+	if s.P50 < 50 || s.P50 > 51 {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P99 < 99 || s.P99 > 100 {
+		t.Errorf("p99 = %v", s.P99)
+	}
+}
+
+func TestDistributionDecimation(t *testing.T) {
+	// Push well past the reservoir cap; count/sum/min/max stay exact and
+	// the quantiles of a uniform ramp stay near their true values.
+	c := New()
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		c.Observe("d", float64(i))
+	}
+	s, _ := c.Distribution("d")
+	if s.Count != n || s.Min != 0 || s.Max != n-1 {
+		t.Errorf("count/min/max = %d/%v/%v", s.Count, s.Min, s.Max)
+	}
+	if rel := s.P50/float64(n) - 0.5; rel < -0.02 || rel > 0.02 {
+		t.Errorf("p50 = %v, want ~%v", s.P50, n/2)
+	}
+	if rel := s.P99/float64(n) - 0.99; rel < -0.02 || rel > 0.02 {
+		t.Errorf("p99 = %v, want ~%v", s.P99, 99*n/100)
+	}
+}
+
+func TestDistributionsOrderAndRender(t *testing.T) {
+	c := New()
+	c.Observe("b", 2)
+	c.Observe("a", 1)
+	c.Observe("b", 4)
+	ds := c.Distributions()
+	if len(ds) != 2 || ds[0].Name != "b" || ds[1].Name != "a" {
+		t.Fatalf("distributions = %+v", ds)
+	}
+	if ds[0].Count != 2 || ds[0].Sum != 6 {
+		t.Errorf("b = %+v", ds[0])
+	}
+	out := c.Render()
+	if !strings.Contains(out, "distributions") || !strings.Contains(out, "a") {
+		t.Errorf("render missing distributions: %s", out)
+	}
+}
+
+func TestObserveConcurrent(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Observe("x", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	s, _ := c.Distribution("x")
+	if s.Count != 8000 || s.Sum != 8000 {
+		t.Errorf("count/sum = %d/%v", s.Count, s.Sum)
+	}
+}
