@@ -13,12 +13,13 @@
 #   make bench-locate  before/after geometry-kernel timing -> BENCH_locate.json
 #   make bench-faults  robustness sweep: tallies vs injected loss -> BENCH_faults.json
 #   make bench-atlasd  32-client coordination-service load test -> BENCH_atlasd.json
+#   make bench-stream  streaming-audit parity + 100k bounded-memory run -> BENCH_stream.json
 
 GO ?= go
 FUZZTIME ?= 30s
 COVER_FLOOR ?= 85.0
 
-.PHONY: all vet lint vuln build test race race-smoke soak fuzz-smoke cover ci ci-local benchcompile fmtcheck bench-audit bench-locate bench-faults bench-atlasd clean
+.PHONY: all vet lint vuln build test race race-smoke soak fuzz-smoke cover ci ci-local benchcompile fmtcheck bench-audit bench-locate bench-faults bench-atlasd bench-stream clean
 
 all: ci
 
@@ -51,13 +52,15 @@ test:
 race:
 	$(GO) test -race -timeout 60m ./...
 
-# Race smoke: only the quick audit determinism path (tiny constellation,
-# real worker pools) under the race detector — fast enough for every CI
-# run, unlike the full `make race` suite. -short keeps the heavy
-# paper-scale audits out. The pattern is anchored so future tests merely
-# containing "TestAudit" don't silently bloat the smoke gate.
+# Race smoke: the quick audit determinism path plus the streaming
+# scheduler (tiny constellation, real worker pools, bounded queues)
+# under the race detector — fast enough for every CI run, unlike the
+# full `make race` suite. -short keeps the heavy paper-scale audits
+# out. The patterns are anchored so future tests merely containing
+# "TestAudit" don't silently bloat the smoke gate.
 race-smoke:
-	$(GO) test -race -short -run '^TestAudit' ./internal/experiments
+	$(GO) test -race -short -run '^TestAudit|^TestStreaming' ./internal/experiments
+	$(GO) test -race -run '^TestSync|^TestSynth' ./internal/stream
 
 # Service soak (DESIGN.md §11): 32 concurrent clients through the full
 # phase1→phase2→model→report loop under the race detector, asserting
@@ -132,7 +135,16 @@ bench-faults:
 bench-atlasd:
 	$(GO) run ./cmd/benchaudit -mode atlasd -out BENCH_atlasd.json
 
+# Streaming-audit certification: quick-fleet fingerprint parity against
+# the batch oracle (aborts on any verdict delta), then a synthetic
+# $(STREAM_SERVERS)-server pass with per-batch heap sampling (aborts if
+# the peak heap exceeds the bounded-memory ceiling or provisioning
+# exceeds the queue+2 batch bound), recorded in BENCH_stream.json.
+STREAM_SERVERS ?= 100000
+bench-stream:
+	$(GO) run ./cmd/benchaudit -mode stream -servers $(STREAM_SERVERS) -out BENCH_stream.json
+
 clean:
-	rm -f BENCH_audit.json BENCH_locate.json BENCH_faults.json BENCH_atlasd.json
+	rm -f BENCH_audit.json BENCH_locate.json BENCH_faults.json BENCH_atlasd.json BENCH_stream.json
 	rm -f cover_atlasd.out cover_loadgen.out
 	$(GO) clean ./...

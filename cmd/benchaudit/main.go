@@ -27,6 +27,17 @@
 // BENCH_faults.json. The sweep is deterministic, so the JSON doubles as
 // a regression record of the loss-threshold result in DESIGN.md §10.
 //
+// Mode "stream" certifies the streaming audit pipeline (internal/stream)
+// on two axes. Correctness: a streaming pass over the quick fleet must
+// reproduce the batch audit's fingerprint byte for byte (the run aborts
+// on any verdict delta), and a second pass over the unchanged fleet must
+// re-measure nothing. Memory: a synthetic 100k-server fleet (-servers to
+// override) is streamed through bounded batches while the heap is
+// sampled at every batch boundary; the run aborts if the peak heap
+// exceeds the post-setup baseline by more than the bounded-memory
+// ceiling, or if the peak number of simultaneously provisioned hosts
+// exceeds (queue depth + 2) batches. Results go to BENCH_stream.json.
+//
 // Mode "atlasd" load-tests the coordination service (DESIGN.md §11):
 // 32 closed-loop clients run the full phase1→phase2→model→report
 // campaign against an in-process server, once serially and once fully
@@ -46,12 +57,14 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"activegeo/internal/assess"
 	"activegeo/internal/atlas"
 	"activegeo/internal/atlasd"
 	"activegeo/internal/cbg"
+	"activegeo/internal/cbgpp"
 	"activegeo/internal/experiments"
 	"activegeo/internal/geo"
 	"activegeo/internal/geoloc"
@@ -59,6 +72,7 @@ import (
 	"activegeo/internal/measure"
 	"activegeo/internal/netsim"
 	"activegeo/internal/refimpl"
+	"activegeo/internal/stream"
 )
 
 type auditReport struct {
@@ -554,6 +568,181 @@ func runAtlasd(scale, out string) {
 	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 }
 
+type streamReport struct {
+	Config string `json:"config"`
+	Cores  int    `json:"cores"`
+
+	// Quick-fleet parity against the batch oracle:
+	Servers          int     `json:"servers"`
+	BatchWallMs      float64 `json:"batch_wall_ms"`
+	StreamWallMs     float64 `json:"stream_wall_ms"`
+	FingerprintMatch bool    `json:"fingerprint_match"`
+	Credible         int     `json:"credible"`
+	Uncertain        int     `json:"uncertain"`
+	False            int     `json:"false"`
+	SecondPassAudits int     `json:"second_pass_audits"`
+
+	// Synthetic bounded-memory run:
+	SynthServers    int     `json:"synth_servers"`
+	BatchSize       int     `json:"batch_size"`
+	QueueDepth      int     `json:"queue_depth"`
+	SynthWallMs     float64 `json:"synth_wall_ms"`
+	SynthBatches    int     `json:"synth_batches"`
+	BaselineHeapMB  float64 `json:"baseline_heap_mb"`
+	PeakHeapMB      float64 `json:"peak_heap_mb"`
+	HeapCeilingMB   float64 `json:"heap_ceiling_mb"`
+	MaxLiveHosts    int     `json:"max_live_hosts"`
+	LiveHostBound   int     `json:"live_host_bound"`
+	SynthCredible   int     `json:"synth_credible"`
+	SynthUncertain  int     `json:"synth_uncertain"`
+	SynthFalse      int     `json:"synth_false"`
+	SynthSecondPass int     `json:"synth_second_pass_audits"`
+}
+
+// heapMB returns the current live-heap size in MB after a collection,
+// so batch-to-batch samples measure retained state, not GC phase.
+func heapMB() float64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.HeapAlloc) / (1 << 20)
+}
+
+func runStream(scale string, cfg experiments.Config, synthServers int, out string) {
+	workers := runtime.GOMAXPROCS(0)
+	cfg.Concurrency = workers
+
+	// Part 1: fingerprint parity with the batch oracle on the quick fleet.
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		log.Fatalf("building lab: %v", err)
+	}
+	start := time.Now()
+	run, err := lab.Audit()
+	if err != nil {
+		log.Fatalf("batch audit: %v", err)
+	}
+	batchWall := time.Since(start)
+	oracle := experiments.Fingerprint(run)
+
+	auditor := lab.StreamingAuditor(0, 0)
+	start = time.Now()
+	if _, err := auditor.Sync(context.Background(), lab.StreamSource()); err != nil {
+		log.Fatalf("streaming audit: %v", err)
+	}
+	streamWall := time.Since(start)
+	if got := auditor.Store().Fingerprint(); got != oracle {
+		log.Fatalf("verdict delta: streaming fingerprint diverges from the batch oracle\n--- batch ---\n%s--- stream ---\n%s", oracle, got)
+	}
+	second, err := auditor.Sync(context.Background(), lab.StreamSource())
+	if err != nil {
+		log.Fatalf("second streaming pass: %v", err)
+	}
+	if second.Audited != 0 {
+		log.Fatalf("incremental bug: second pass over the unchanged fleet re-measured %d servers", second.Audited)
+	}
+	tally := auditor.Store().Tally()
+	fmt.Fprintf(os.Stderr, "parity: %d servers, batch %v vs stream %v, fingerprints identical, pass 2 re-measured 0\n",
+		len(run.Results), batchWall.Round(time.Millisecond), streamWall.Round(time.Millisecond))
+
+	// Part 2: bounded memory on a synthetic fleet far larger than RAM
+	// would allow if the pipeline materialized it.
+	const batchSize, queueDepth = 256, 2
+	simNet := netsim.New(9090)
+	rng := rand.New(rand.NewSource(9090))
+	cons, err := atlas.Build(simNet, atlas.Config{Anchors: 24, Probes: 12, SamplesPerPair: 3}, rng)
+	if err != nil {
+		log.Fatalf("building synth constellation: %v", err)
+	}
+	env := geoloc.NewEnv(4)
+	cal, err := cbgpp.Calibrate(cons, cbgpp.Options{})
+	if err != nil {
+		log.Fatalf("calibrating: %v", err)
+	}
+	client := netsim.HostID("stream-bench-client")
+	if err := simNet.AddHost(&netsim.Host{ID: client, Loc: geo.Point{Lat: 50.11, Lon: 8.68}, AccessDelayMs: 1}); err != nil {
+		log.Fatalf("adding client: %v", err)
+	}
+	src := stream.NewSynthSource(simNet, synthServers, 777)
+
+	baseline := heapMB()
+	ceiling := baseline + 128
+	peak := baseline
+	var mu sync.Mutex
+	synthAuditor := stream.New(stream.Config{
+		Cons:        cons,
+		Client:      client,
+		Env:         env,
+		Mask:        env.Mask,
+		Locator:     cbgpp.New(env, cal, cbgpp.Options{}),
+		Seed:        4242,
+		Concurrency: workers,
+		BatchSize:   batchSize,
+		QueueDepth:  queueDepth,
+		OnBatchDone: func(bs stream.BatchStats) {
+			h := heapMB()
+			mu.Lock()
+			if h > peak {
+				peak = h
+			}
+			mu.Unlock()
+		},
+	})
+	start = time.Now()
+	synthStats, err := synthAuditor.Sync(context.Background(), src)
+	if err != nil {
+		log.Fatalf("synthetic streaming audit: %v", err)
+	}
+	synthWall := time.Since(start)
+	if peak > ceiling {
+		log.Fatalf("bounded-memory violation: peak heap %.1f MB exceeds ceiling %.1f MB (baseline %.1f MB)", peak, ceiling, baseline)
+	}
+	liveBound := (queueDepth + 2) * batchSize
+	if src.MaxLiveHosts() > liveBound {
+		log.Fatalf("provisioning violation: %d live hosts at peak, bound is %d", src.MaxLiveHosts(), liveBound)
+	}
+	synthSecond, err := synthAuditor.Sync(context.Background(), src)
+	if err != nil {
+		log.Fatalf("second synthetic pass: %v", err)
+	}
+	if synthSecond.Audited != 0 {
+		log.Fatalf("incremental bug: second synthetic pass re-measured %d servers", synthSecond.Audited)
+	}
+	synthTally := synthAuditor.Store().Tally()
+	fmt.Fprintf(os.Stderr, "synthetic: %d servers in %d batches over %v; heap baseline %.1f MB, peak %.1f MB (ceiling %.1f); peak live hosts %d (bound %d)\n",
+		synthServers, synthStats.Batches, synthWall.Round(time.Millisecond), baseline, peak, ceiling, src.MaxLiveHosts(), liveBound)
+
+	writeJSON(out, streamReport{
+		Config: scale,
+		Cores:  runtime.NumCPU(),
+
+		Servers:          len(run.Results),
+		BatchWallMs:      float64(batchWall.Microseconds()) / 1000,
+		StreamWallMs:     float64(streamWall.Microseconds()) / 1000,
+		FingerprintMatch: true,
+		Credible:         tally.Credible,
+		Uncertain:        tally.Uncertain,
+		False:            tally.False,
+		SecondPassAudits: second.Audited,
+
+		SynthServers:    synthServers,
+		BatchSize:       batchSize,
+		QueueDepth:      queueDepth,
+		SynthWallMs:     float64(synthWall.Microseconds()) / 1000,
+		SynthBatches:    synthStats.Batches,
+		BaselineHeapMB:  baseline,
+		PeakHeapMB:      peak,
+		HeapCeilingMB:   ceiling,
+		MaxLiveHosts:    src.MaxLiveHosts(),
+		LiveHostBound:   liveBound,
+		SynthCredible:   synthTally.Credible,
+		SynthUncertain:  synthTally.Uncertain,
+		SynthFalse:      synthTally.False,
+		SynthSecondPass: synthSecond.Audited,
+	})
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+}
+
 func writeJSON(path string, v any) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -566,9 +755,10 @@ func writeJSON(path string, v any) {
 }
 
 func main() {
-	mode := flag.String("mode", "audit", "what to benchmark: audit, locate, faults or atlasd")
+	mode := flag.String("mode", "audit", "what to benchmark: audit, locate, faults, stream or atlasd")
 	scale := flag.String("scale", "quick", "audit scale: quick or paper")
 	out := flag.String("out", "", "output JSON path (default BENCH_<mode>.json)")
+	synthServers := flag.Int("servers", 100_000, "synthetic fleet size for -mode stream")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -597,6 +787,11 @@ func main() {
 			*out = "BENCH_faults.json"
 		}
 		runFaults(*scale, cfg, *out)
+	case "stream":
+		if *out == "" {
+			*out = "BENCH_stream.json"
+		}
+		runStream(*scale, cfg, *synthServers, *out)
 	case "atlasd":
 		if *out == "" {
 			*out = "BENCH_atlasd.json"

@@ -6,11 +6,19 @@
 //	vpnaudit [-scale quick|paper] [-provider A] [-v]
 //	         [-concurrency N] [-telemetry] [-progress]
 //	         [-faults] [-loss P] [-outage F]
+//	         [-stream] [-batch N] [-queue N]
 //
 // Results are identical at every -concurrency setting (all randomness is
 // derived per server); the flag only trades wall-clock time for cores.
 // -telemetry prints per-stage wall/CPU timings and counters to stderr
 // after the run; -progress streams completion counts while it runs.
+//
+// -stream runs the audit through the streaming pipeline (internal/stream)
+// instead of the materializing one: servers flow through bounded batches
+// of -batch servers with at most -queue batches buffered, so peak memory
+// is O(batch) rather than O(fleet). The verdicts are byte-identical to
+// the batch audit's — -stream changes the memory profile, not the
+// answers.
 //
 // -faults arms the netsim fault-injection layer with the default mix at
 // -loss (probe loss rate, default 0.1); -loss or -outage alone also arm
@@ -21,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -87,6 +96,9 @@ func main() {
 	faultsFlag := flag.Bool("faults", false, "arm fault injection with the default mix at the -loss rate")
 	loss := flag.Float64("loss", 0, "injected probe-loss rate (implies -faults; default 0.1 when -faults is set alone)")
 	outage := flag.Float64("outage", 0, "fraction of landmarks with an outage window (implies -faults; overrides the default mix)")
+	streamFlag := flag.Bool("stream", false, "run the audit through the streaming pipeline (bounded memory, identical verdicts)")
+	batchSize := flag.Int("batch", 0, "streaming batch size (0 = default; only with -stream)")
+	queueDepth := flag.Int("queue", 0, "streaming queue depth in batches (0 = default; only with -stream)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -110,6 +122,10 @@ func main() {
 	lab.Telemetry = tel
 	if *progressFlag {
 		tel.OnProgress(progressPrinter())
+	}
+	if *streamFlag {
+		runStreaming(lab, tel, start, *batchSize, *queueDepth, *provider, *verbose, *telFlag)
+		return
 	}
 	run, err := lab.Audit()
 	if err != nil {
@@ -173,6 +189,55 @@ func main() {
 	}
 
 	if *telFlag {
+		fmt.Fprint(os.Stderr, tel.Render())
+	}
+}
+
+// runStreaming drives the audit through the bounded-memory streaming
+// pipeline and prints the tally off the columnar store. The verdicts are
+// byte-identical to the batch audit's (the parity is test-pinned); the
+// figure renderings need the materialized run and are batch-mode only.
+func runStreaming(lab *experiments.Lab, tel *telemetry.Collector, start time.Time, batchSize, queueDepth int, provider string, verbose, telFlag bool) {
+	auditor := lab.StreamingAuditor(batchSize, queueDepth)
+	stats, err := auditor.Sync(context.Background(), lab.StreamSource())
+	if err != nil {
+		log.Fatalf("streaming audit: %v", err)
+	}
+	st := auditor.Store().Stats()
+	fmt.Fprintf(os.Stderr, "streamed %d servers in %v: %d audited, %d skipped, %d batches (%d measure / %d locate failures)\n",
+		stats.Total, time.Since(start).Round(time.Millisecond),
+		stats.Audited, stats.Skipped, stats.Batches, st.MeasureFailures, st.LocateFailures)
+	if st.FaultyServers > 0 {
+		fmt.Fprintf(os.Stderr,
+			"fault injection: %d/%d servers degraded, %d retries, %d probe failures, %d lost landmarks, %d disconnects\n",
+			st.DegradedServers, st.FaultyServers, st.Retries, st.ProbeFailures, st.LostLandmarks, st.Disconnects)
+	}
+
+	t := auditor.Store().Tally()
+	total := t.Credible + t.Uncertain + t.False
+	fmt.Printf("streaming audit tally over %d servers:\n", total)
+	fmt.Printf("  credible  %4d\n", t.Credible)
+	fmt.Printf("  uncertain %4d (%d on the claimed continent)\n", t.Uncertain, t.UncertainSameCont)
+	fmt.Printf("  false     %4d (%d off-continent)\n", t.False, t.FalseOffContinent)
+	fmt.Printf("  reclassified: %d by data-center metadata, %d by group disambiguation\n",
+		st.ReclassifiedByDC, st.ReclassifiedByGroup)
+
+	if verbose || provider != "" {
+		fmt.Println("per-server verdicts:")
+		for _, s := range lab.Fleet.Servers() {
+			if provider != "" && s.Provider != provider {
+				continue
+			}
+			v, probable, ok := auditor.Store().VerdictOf(s.Host.ID)
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-14s provider %s  claimed %s  verdict %-9s probable %s\n",
+				s.Host.ID, s.Provider, s.ClaimedCountry, v, probable)
+		}
+	}
+
+	if telFlag {
 		fmt.Fprint(os.Stderr, tel.Render())
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"activegeo/internal/geo"
 	"activegeo/internal/mathx"
@@ -83,7 +84,25 @@ type Constellation struct {
 	// Spotter calibrate on; CBG's bestline only sees the envelope
 	// anyway.
 	calib map[netsim.HostID][]PairSample
+
+	// epoch counts landmark-set and calibration generations: it is
+	// bumped by Decommission, AddAnchors and RefreshCalibration, so
+	// incremental consumers (the streaming audit) can detect that a
+	// verdict predates the current constellation. Atomic because churn
+	// may be applied from a pipeline callback while a feeder goroutine
+	// reads the epoch to stamp dependency signatures.
+	epoch atomic.Uint64
+
+	// anchorSeq numbers anchors minted by AddAnchors. A monotonic
+	// counter — never an rng draw — so churned-in anchor IDs are unique
+	// for the constellation's lifetime.
+	anchorSeq int
 }
+
+// Epoch returns the constellation's churn/calibration generation. Two
+// reads returning the same value bracket a window with no landmark-set
+// or calibration changes.
+func (c *Constellation) Epoch() uint64 { return c.epoch.Load() }
 
 // Build creates the constellation inside net. All anchor/probe placement
 // randomness comes from rng, so builds are reproducible.
@@ -199,6 +218,7 @@ func (c *Constellation) RefreshCalibration(samplesPerPair int, rng *rand.Rand) {
 	if samplesPerPair < 1 {
 		samplesPerPair = 1
 	}
+	c.epoch.Add(1)
 	for id := range c.calib {
 		delete(c.calib, id)
 	}

@@ -234,3 +234,69 @@ func BenchmarkBuild(b *testing.B) {
 		_, _ = Build(net, Config{Anchors: 60, Probes: 60, SamplesPerPair: 2}, rand.New(rand.NewSource(7)))
 	}
 }
+
+// TestLongChurnUniqueIDs is the regression test for the AddAnchors ID
+// bug: minting IDs from rng.Intn(1_000_000) collides after a few
+// hundred churn rounds (birthday bound ≈ 1180 draws for even odds),
+// silently overwriting byID entries while the network rejected the
+// duplicate host. The monotonic counter must survive sustained churn
+// with every minted ID unique and registered.
+func TestLongChurnUniqueIDs(t *testing.T) {
+	net := netsim.New(56)
+	rng := rand.New(rand.NewSource(56))
+	c, err := Build(net, Config{Anchors: 40, Probes: 0, SamplesPerPair: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[netsim.HostID]bool{}
+	epoch := c.Epoch()
+	for round := 0; round < 400; round++ {
+		c.Decommission(2, rng)
+		added, err := c.AddAnchors(2, rng)
+		if err != nil {
+			t.Fatalf("round %d: AddAnchors: %v", round, err)
+		}
+		for _, id := range added {
+			if seen[id] {
+				t.Fatalf("round %d: anchor ID %s minted twice", round, id)
+			}
+			seen[id] = true
+			if c.Landmark(id) == nil {
+				t.Fatalf("round %d: added anchor %s missing from byID", round, id)
+			}
+			if net.Host(id) == nil {
+				t.Fatalf("round %d: added anchor %s missing from the network", round, id)
+			}
+		}
+		if e := c.Epoch(); e <= epoch {
+			t.Fatalf("round %d: epoch did not advance (%d → %d)", round, epoch, e)
+		} else {
+			epoch = e
+		}
+	}
+	if len(seen) != 800 {
+		t.Fatalf("minted %d distinct IDs, want 800", len(seen))
+	}
+	if got := len(c.Anchors()); got != 40 {
+		t.Fatalf("anchors = %d after balanced churn, want 40", got)
+	}
+}
+
+// TestEpochTracksCalibration: RefreshCalibration alone must advance the
+// epoch, since recalibration changes every landmark's delay model.
+func TestEpochTracksCalibration(t *testing.T) {
+	net := netsim.New(57)
+	rng := rand.New(rand.NewSource(57))
+	c, err := Build(net, Config{Anchors: 10, Probes: 0, SamplesPerPair: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Epoch()
+	if before == 0 {
+		t.Fatal("built constellation has epoch 0; Build's calibration should have bumped it")
+	}
+	c.RefreshCalibration(1, rng)
+	if after := c.Epoch(); after != before+1 {
+		t.Fatalf("epoch %d → %d across RefreshCalibration, want +1", before, after)
+	}
+}

@@ -41,21 +41,31 @@ func (c *Constellation) Decommission(n int, rng *rand.Rand) []netsim.HostID {
 		kept = append(kept, a)
 	}
 	c.anchors = kept
+	c.epoch.Add(1)
 	return ids
 }
 
 // AddAnchors places n new anchors near the given cities' coordinates
 // (cycled), registering them in the network. They have no calibration
 // until the next RefreshCalibration.
+//
+// IDs and addresses come from a monotonic per-constellation counter, not
+// from rng: random six-digit IDs collide after a few hundred churn
+// rounds (birthday bound), and a collision silently overwrote the byID
+// entry while AddHost rejected the duplicate host — corrupting any state
+// keyed by anchor ID. Placement randomness still comes from rng, so
+// churn remains reproducible.
 func (c *Constellation) AddAnchors(n int, rng *rand.Rand) ([]netsim.HostID, error) {
 	var ids []netsim.HostID
 	for i := 0; i < n; i++ {
 		city := cities[rng.Intn(len(cities))]
 		loc := geo.DestinationPoint(geo.Point{Lat: city.Lat, Lon: city.Lon},
 			rng.Float64()*360, rng.Float64()*30)
+		seq := c.anchorSeq
+		c.anchorSeq++
 		h := &netsim.Host{
-			ID:            netsim.HostID(fmt.Sprintf("anchor-new-%06d", rng.Intn(1_000_000))),
-			Addr:          fmt.Sprintf("192.88.%d.%d", rng.Intn(250), rng.Intn(250)),
+			ID:            netsim.HostID(fmt.Sprintf("anchor-new-%06d", seq)),
+			Addr:          fmt.Sprintf("192.88.%d.%d", seq/250%250, seq%250),
 			Loc:           loc,
 			Country:       city.Country,
 			AccessDelayMs: 0.5 + rng.Float64()*1.5,
@@ -69,5 +79,6 @@ func (c *Constellation) AddAnchors(n int, rng *rand.Rand) ([]netsim.HostID, erro
 		c.byID[h.ID] = lm
 		ids = append(ids, h.ID)
 	}
+	c.epoch.Add(1)
 	return ids, nil
 }

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"activegeo/internal/stream"
+)
+
+// StreamingAuditor wires a streaming auditor to the lab's constellation,
+// client, environment, calibrated CBG++ and telemetry, with the same
+// measurement stream seed as the batch Audit (salt 17): every server
+// draws identical randomness on either path, so a streaming pass over
+// the unchanged fleet reproduces Audit's fingerprint byte for byte.
+// batchSize/queueDepth ≤ 0 take the stream package defaults.
+func (l *Lab) StreamingAuditor(batchSize, queueDepth int) *stream.Auditor {
+	return stream.New(stream.Config{
+		Cons:        l.Cons,
+		Client:      l.Client,
+		Env:         l.Env,
+		Mask:        l.Env.Mask,
+		Locator:     l.CBGpp,
+		Seed:        l.streamSeed(17),
+		PolicyFn:    l.policy,
+		Concurrency: l.Concurrency(),
+		BatchSize:   batchSize,
+		QueueDepth:  queueDepth,
+		Telemetry:   l.Telemetry,
+	})
+}
+
+// StreamSource enumerates the lab's fleet for the streaming auditor, in
+// the same order the batch audit walks it.
+func (l *Lab) StreamSource() *stream.FleetSource {
+	return stream.NewFleetSource(l.Fleet)
+}

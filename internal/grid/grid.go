@@ -210,11 +210,60 @@ func (r *Region) Empty() bool {
 	return true
 }
 
-// AreaKm2 returns the total surface area of the region.
+// AreaKm2 returns the total surface area of the region. Cells within one
+// latitude band all share one area, so the sum reduces to a word-masked
+// popcount per band times that band's cell area — no per-cell iteration.
+// The streaming audit recomputes region areas per verdict delta, which is
+// what pushed this off the bit-by-bit path.
 func (r *Region) AreaKm2() float64 {
+	g := r.g
+	var area float64
+	for b := 0; b < g.bands; b++ {
+		lo := g.bandOffset[b]
+		if n := r.countInRange(lo, lo+g.cols[b]); n > 0 {
+			area += float64(n) * g.cellArea[b]
+		}
+	}
+	return area
+}
+
+// AreaKm2Reference is the pre-kernel AreaKm2 (bit-by-bit cell walk,
+// per-cell band lookup), kept as the oracle/baseline; new code should use
+// AreaKm2.
+func (r *Region) AreaKm2Reference() float64 {
 	var area float64
 	r.Each(func(i int) { area += r.g.CellArea(i) })
 	return area
+}
+
+// countInRange returns the number of region cells in [lo, hi) using
+// word-masked popcounts.
+func (r *Region) countInRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > r.g.total {
+		hi = r.g.total
+	}
+	if lo >= hi {
+		return 0
+	}
+	wLo, wHi := lo/64, (hi-1)/64
+	n := 0
+	for w := wLo; w <= wHi; w++ {
+		word := r.bits[w]
+		if word == 0 {
+			continue
+		}
+		if w == wLo && lo%64 != 0 {
+			word &= ^uint64(0) << uint(lo%64)
+		}
+		if w == wHi && hi%64 != 0 {
+			word &= ^uint64(0) >> uint(64-hi%64)
+		}
+		n += bits.OnesCount64(word)
+	}
+	return n
 }
 
 // Each calls fn for every cell index in the region, in increasing order.
@@ -500,7 +549,32 @@ func (r *Region) AddWithinKm(dist []float32, maxKm float64, centerCell int) {
 
 // IntersectWithinKm removes every cell whose precomputed distance
 // exceeds maxKm. dist must be a slice of length NumCells in cell order.
+// The pruning is word-wise: zero words are skipped outright and each
+// surviving word's keep-mask is built locally and stored once, instead of
+// a Remove (index arithmetic + store) per far cell. The per-cell
+// predicate is unchanged, so the resulting bits are identical to the
+// bit-by-bit reference.
 func (r *Region) IntersectWithinKm(dist []float32, maxKm float64) {
+	for w, word := range r.bits {
+		if word == 0 {
+			continue
+		}
+		keep := word
+		base := w * 64
+		for t := word; t != 0; t &= t - 1 {
+			b := bits.TrailingZeros64(t)
+			if float64(dist[base+b]) > maxKm {
+				keep &^= 1 << uint(b)
+			}
+		}
+		r.bits[w] = keep
+	}
+}
+
+// IntersectWithinKmReference is the pre-kernel IntersectWithinKm
+// (bit-by-bit walk with per-cell Remove), kept as the oracle/baseline;
+// new code should use IntersectWithinKm.
+func (r *Region) IntersectWithinKmReference(dist []float32, maxKm float64) {
 	r.Each(func(i int) {
 		if float64(dist[i]) > maxKm {
 			r.Remove(i)

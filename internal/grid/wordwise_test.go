@@ -1,0 +1,99 @@
+package grid
+
+// Tests for the word-wise region reductions: the per-band popcount area
+// sum and the keep-mask distance pruning, each checked against its
+// retained bit-by-bit reference implementation.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"activegeo/internal/geo"
+)
+
+// randomRegion builds a region from a few random caps minus a random
+// cap, so it has ragged boundaries, multiple bands, and holes.
+func randomRegion(g *Grid, rng *rand.Rand) *Region {
+	r := g.NewRegion()
+	for k := 0; k < 1+rng.Intn(3); k++ {
+		r.AddCap(randomCap(rng))
+	}
+	hole := g.NewRegion()
+	hole.AddCap(randomCap(rng))
+	r.SubtractWith(hole)
+	return r
+}
+
+// TestAreaKm2MatchesReference: the word-wise per-band sum must agree
+// with the sequential per-cell sum. The two accumulate in different
+// orders (n equal terms multiplied vs added one by one), so agreement is
+// up to relative rounding, not bit-exact.
+func TestAreaKm2MatchesReference(t *testing.T) {
+	g := New(2.5)
+	rng := rand.New(rand.NewSource(31))
+	for k := 0; k < 100; k++ {
+		r := randomRegion(g, rng)
+		got, want := r.AreaKm2(), r.AreaKm2Reference()
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("empty region: got area %v, want 0", got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > 1e-12 {
+			t.Fatalf("region %d cells: AreaKm2 %v vs reference %v (rel %.3g)", r.Count(), got, want, rel)
+		}
+	}
+	empty := g.NewRegion()
+	if a := empty.AreaKm2(); a != 0 {
+		t.Fatalf("empty region area = %v, want 0", a)
+	}
+	full := g.FullRegion()
+	sphere := 4 * math.Pi * geo.EarthRadiusKm * geo.EarthRadiusKm
+	if rel := math.Abs(full.AreaKm2()-sphere) / sphere; rel > 1e-9 {
+		t.Fatalf("full region area %v, want sphere %v", full.AreaKm2(), sphere)
+	}
+}
+
+// TestIntersectWithinKmMatchesReference: the keep-mask path applies the
+// identical float64 predicate per set bit, so the resulting bitsets must
+// be byte-identical to the reference, not merely equivalent.
+func TestIntersectWithinKmMatchesReference(t *testing.T) {
+	g := New(2.5)
+	rng := rand.New(rand.NewSource(32))
+	for k := 0; k < 100; k++ {
+		r := randomRegion(g, rng)
+		dist := g.DistancesFrom(randomCap(rng).Center)
+		maxKm := rng.Float64() * geo.HalfEquatorKm
+		a, b := r.Clone(), r.Clone()
+		a.IntersectWithinKm(dist, maxKm)
+		b.IntersectWithinKmReference(dist, maxKm)
+		for w := range a.bits {
+			if a.bits[w] != b.bits[w] {
+				t.Fatalf("maxKm %.1f: word %d differs: %x vs %x", maxKm, w, a.bits[w], b.bits[w])
+			}
+		}
+	}
+}
+
+// TestCountInRange checks the word-masked popcount against a brute
+// count, including unaligned and cross-word ranges.
+func TestCountInRange(t *testing.T) {
+	g := New(3)
+	rng := rand.New(rand.NewSource(33))
+	r := randomRegion(g, rng)
+	for k := 0; k < 200; k++ {
+		lo := rng.Intn(g.total+10) - 5
+		hi := lo + rng.Intn(200)
+		want := 0
+		for i := lo; i < hi; i++ {
+			if i >= 0 && i < g.total && r.Contains(i) {
+				want++
+			}
+		}
+		if got := r.countInRange(lo, hi); got != want {
+			t.Fatalf("countInRange(%d,%d) = %d, want %d", lo, hi, got, want)
+		}
+	}
+}

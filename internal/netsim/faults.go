@@ -19,6 +19,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -72,6 +73,24 @@ const (
 // Enabled reports whether any fault model is armed.
 func (c FaultConfig) Enabled() bool {
 	return c.ProbeLoss > 0 || c.OutageFraction > 0 || c.DisconnectProb > 0 || c.SpikeProb > 0
+}
+
+// Signature returns a deterministic fingerprint of the fault ledger —
+// FNV-1a over every field's bit pattern. Verdicts measured under one
+// fault configuration are stale under another, so incremental consumers
+// fold this into their per-server dependency signatures. The zero config
+// has its own (stable) signature, distinct from any armed one.
+func (c FaultConfig) Signature() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, v := range []float64{
+		c.ProbeLoss, c.OutageFraction, c.OutageMeanMs, c.HorizonMs,
+		c.DisconnectProb, c.SpikeProb, c.SpikeMeanMs,
+	} {
+		h ^= math.Float64bits(v)
+		h *= prime
+	}
+	return h
 }
 
 func (c FaultConfig) outageMean() float64 {

@@ -207,6 +207,23 @@ func (n *Network) AddHost(h *Host) error {
 	return nil
 }
 
+// RemoveHost deregisters the host with the given ID and reports whether
+// it existed. Paths are stateless (derived from host IDs and the network
+// seed), so removal needs no teardown beyond the map delete. The
+// streaming audit's synthetic sources use this to provision hosts per
+// batch and release them afterwards, keeping the network O(batch) rather
+// than O(fleet); callers must not remove a host with measurements still
+// in flight.
+func (n *Network) RemoveHost(id HostID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.hosts[id]; !ok {
+		return false
+	}
+	delete(n.hosts, id)
+	return true
+}
+
 // Host returns the host with the given ID, or nil.
 func (n *Network) Host(id HostID) *Host {
 	n.mu.RLock()

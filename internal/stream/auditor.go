@@ -1,0 +1,374 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"activegeo/internal/assess"
+	"activegeo/internal/atlas"
+	"activegeo/internal/geoloc"
+	"activegeo/internal/measure"
+	"activegeo/internal/netsim"
+	"activegeo/internal/telemetry"
+	"activegeo/internal/worldmap"
+)
+
+// Config parameterizes a streaming Auditor. Cons, Client, Env, Mask and
+// Locator must match the batch audit's for fingerprint parity; Seed must
+// be the same measurement base seed (the lab's audit stream seed), since
+// each server's randomness is measure.StreamSeed(Seed, id) on both
+// paths.
+type Config struct {
+	Cons    *atlas.Constellation
+	Client  netsim.HostID
+	Env     *geoloc.Env
+	Mask    *worldmap.Mask
+	Locator geoloc.Algorithm
+
+	// Seed is the base seed of the per-server measurement streams.
+	Seed int64
+	// PolicyFn returns the resilience policy for a batch (consulted at
+	// batch formation, so re-arming faults mid-run takes effect on the
+	// next batch). nil means the zero policy — the historical
+	// fault-free path.
+	PolicyFn func() measure.Policy
+
+	// Concurrency bounds the measurement and assessment pools inside
+	// one batch (0 = GOMAXPROCS). Results are identical at any width.
+	Concurrency int
+	// BatchSize is the number of servers measured per batch (default
+	// 64). Peak transient memory is O(QueueDepth × BatchSize).
+	BatchSize int
+	// QueueDepth bounds the batches buffered between the feeder and the
+	// measuring worker (default 2). The feeder blocks when the queue is
+	// full — backpressure, not accumulation.
+	QueueDepth int
+
+	// Telemetry receives queue-depth and batch-latency distributions
+	// plus audited/skipped counters (nil discards).
+	Telemetry *telemetry.Collector
+
+	// OnBatchDone, if non-nil, is called synchronously from the worker
+	// after each batch is fully assessed, with no measurement in
+	// flight — the safe point to apply constellation churn mid-pass.
+	OnBatchDone func(BatchStats)
+}
+
+// BatchStats describes one completed batch.
+type BatchStats struct {
+	Pass    uint32
+	Index   int // batch number within the pass, 0-based
+	Servers int
+	WallMs  float64
+}
+
+// PassStats summarizes one Sync pass.
+type PassStats struct {
+	Total   int // servers enumerated from the source
+	Audited int // servers measured this pass
+	Skipped int // servers whose dependency signature was unchanged
+	Batches int
+}
+
+// Auditor runs streaming audit passes against a columnar Store.
+type Auditor struct {
+	cfg   Config
+	store *Store
+	pass  uint32
+}
+
+// New builds an Auditor over a fresh store.
+func New(cfg Config) *Auditor {
+	return &Auditor{cfg: cfg, store: NewStore()}
+}
+
+// Store exposes the verdict store.
+func (a *Auditor) Store() *Store { return a.store }
+
+func (a *Auditor) concurrency() int {
+	if a.cfg.Concurrency > 0 {
+		return a.cfg.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (a *Auditor) batchSize() int {
+	if a.cfg.BatchSize > 0 {
+		return a.cfg.BatchSize
+	}
+	return 64
+}
+
+func (a *Auditor) queueDepth() int {
+	if a.cfg.QueueDepth > 0 {
+		return a.cfg.QueueDepth
+	}
+	return 2
+}
+
+func (a *Auditor) policy() measure.Policy {
+	if a.cfg.PolicyFn == nil {
+		return measure.Policy{}
+	}
+	return a.cfg.PolicyFn()
+}
+
+// signature folds everything a server's verdict depends on — the
+// constellation epoch (landmark set + calibration generation), the fault
+// ledger, and the server's own claim metadata — into one dependency
+// stamp. A stored verdict is current iff its stamp matches.
+func (a *Auditor) signature(spec ServerSpec) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		mix(uint64(len(s)))
+	}
+	mix(a.cfg.Cons.Epoch())
+	mix(a.cfg.Cons.Net().Faults().Signature())
+	mixStr(spec.Provider)
+	mixStr(spec.Claimed)
+	mixStr(spec.GroupKey)
+	return h
+}
+
+// batchItem is one dirty server queued for measurement.
+type batchItem struct {
+	row  int
+	spec ServerSpec
+	sig  uint64
+}
+
+// Sync runs one streaming pass over the source: servers whose dependency
+// signature changed since their last verdict are re-measured in bounded
+// batches; the rest are skipped. After the pass the group metadata
+// refinement is re-resolved over the whole store, so partial deltas
+// compose into exactly the verdicts a full batch audit would produce.
+//
+// Determinism: each server draws from its own (Seed, ID) stream, batch
+// composition only affects scheduling, and per-batch results are written
+// into per-row slots — so verdicts are a pure function of (store state,
+// source, constellation, faults), at any Concurrency/BatchSize/QueueDepth.
+func (a *Auditor) Sync(ctx context.Context, src Source) (PassStats, error) {
+	a.pass++
+	tel := a.cfg.Telemetry
+	prov, _ := src.(Provisioner)
+	stats := PassStats{Total: src.Len()}
+
+	batches := make(chan []batchItem, a.queueDepth())
+	var feedErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(batches)
+		batch := make([]batchItem, 0, a.batchSize())
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			if prov != nil {
+				specs := make([]ServerSpec, len(batch))
+				for i, it := range batch {
+					specs[i] = it.spec
+				}
+				if err := prov.Provision(specs); err != nil {
+					feedErr = fmt.Errorf("stream: provisioning batch: %w", err)
+					return false
+				}
+			}
+			tel.Observe("stream.queue.depth", float64(len(batches)))
+			select {
+			case batches <- batch:
+			case <-ctx.Done():
+				// The batch was provisioned but never handed off: release
+				// it here or its hosts leak into the next pass.
+				if prov != nil {
+					specs := make([]ServerSpec, len(batch))
+					for i, it := range batch {
+						specs[i] = it.spec
+					}
+					prov.Release(specs)
+				}
+				feedErr = ctx.Err()
+				return false
+			}
+			batch = make([]batchItem, 0, a.batchSize())
+			return true
+		}
+		for i := 0; i < src.Len(); i++ {
+			spec := src.Spec(i)
+			row := a.store.ensure(spec)
+			// The signature is captured at batch formation: churn
+			// landing after this point re-dirties the server on the
+			// next pass rather than silently racing this one.
+			sig := a.signature(spec)
+			if stored, assessed := a.store.sigOf(row); assessed && stored == sig {
+				stats.Skipped++
+				continue
+			}
+			batch = append(batch, batchItem{row: row, spec: spec, sig: sig})
+			if len(batch) >= a.batchSize() {
+				if !flush() {
+					return
+				}
+			}
+		}
+		flush()
+	}()
+
+	for batch := range batches {
+		if ctx.Err() != nil {
+			// Canceled: drain without assessing, so every unfinished row
+			// keeps its old signature and stays dirty for the next pass.
+			if prov != nil {
+				specs := make([]ServerSpec, len(batch))
+				for i, it := range batch {
+					specs[i] = it.spec
+				}
+				prov.Release(specs)
+			}
+			continue
+		}
+		start := time.Now()
+		a.runBatch(ctx, batch)
+		if prov != nil {
+			specs := make([]ServerSpec, len(batch))
+			for i, it := range batch {
+				specs[i] = it.spec
+			}
+			prov.Release(specs)
+		}
+		wallMs := float64(time.Since(start)) / float64(time.Millisecond)
+		tel.Observe("stream.batch.ms", wallMs)
+		tel.Add("stream.audited", int64(len(batch)))
+		stats.Audited += len(batch)
+		if a.cfg.OnBatchDone != nil {
+			a.cfg.OnBatchDone(BatchStats{
+				Pass: a.pass, Index: stats.Batches, Servers: len(batch), WallMs: wallMs,
+			})
+		}
+		stats.Batches++
+	}
+	wg.Wait()
+	if feedErr != nil {
+		return stats, feedErr
+	}
+
+	a.store.resolveGroups()
+	tel.Add("stream.skipped", int64(stats.Skipped))
+	tel.Add("stream.passes", 1)
+	return stats, nil
+}
+
+// runBatch measures and assesses one batch: the only point where RTT
+// vectors and prediction regions exist, and they die with the batch.
+func (a *Auditor) runBatch(ctx context.Context, batch []batchItem) {
+	proxies := make([]netsim.HostID, len(batch))
+	for i, it := range batch {
+		proxies[i] = it.spec.ID
+	}
+	mb := &measure.Batch{
+		Cons:        a.cfg.Cons,
+		Client:      a.cfg.Client,
+		Eta:         measure.DefaultEta,
+		Concurrency: a.concurrency(),
+		Seed:        a.cfg.Seed,
+		Policy:      a.policy(),
+	}
+	measured := mb.Run(ctx, proxies)
+	if ctx.Err() != nil {
+		// The measurement was cut short by cancellation; don't bake the
+		// partial results into the store — the rows stay dirty.
+		return
+	}
+
+	parallelFor(len(batch), a.concurrency(), func(i int) {
+		it := batch[i]
+		o := outcome{spec: it.spec, sig: it.sig, pass: a.pass}
+		region := a.cfg.Env.Grid.NewRegion()
+		switch {
+		case measured[i].Err != nil:
+			o.errStage = StageMeasure
+			o.errMsg = measured[i].Err.Error()
+		default:
+			ms := measured[i].Result.Measurements()
+			o.nMeas = len(ms)
+			if len(ms) < 4 {
+				o.errStage = StageMeasure
+				// Byte-identical to the batch audit's error (which is
+				// minted in package experiments) so fingerprints agree.
+				o.errMsg = fmt.Sprintf("experiments: only %d usable measurements (need 4)", len(ms))
+			} else if r2, lerr := a.cfg.Locator.Locate(ms); lerr != nil {
+				o.errStage = StageLocate
+				o.errMsg = lerr.Error()
+			} else {
+				region = r2
+			}
+		}
+		res := assess.Assess(a.cfg.Mask, region, string(it.spec.ID), it.spec.Provider, it.spec.Claimed)
+		o.raw = res.VerdictRaw
+		o.dc = res.Verdict
+		o.cont = res.ContVerdict
+		o.probable = res.ProbableCountry
+		o.candidates = res.Candidates
+		o.cells = region.Count()
+		if r := measured[i].Result; r != nil && r.Deg != nil {
+			o.coverage = &Coverage{
+				Planned:         r.Deg.Planned,
+				Measured:        r.Deg.Measured,
+				Retries:         r.Deg.Retries,
+				ProbeFailures:   r.Deg.ProbeFailures,
+				LostLandmarks:   append([]netsim.HostID(nil), r.Deg.LostLandmarks...),
+				Disconnected:    r.Deg.Disconnected,
+				BudgetExhausted: r.Deg.BudgetExhausted,
+				Ratio:           r.Deg.Coverage(),
+				Confidence:      r.Deg.Confidence(),
+			}
+		}
+		a.store.setResult(it.row, o)
+	})
+}
+
+// parallelFor runs fn(i) for i in [0, n) on at most workers goroutines
+// (inline, in order, when workers ≤ 1). Work is handed out by an atomic
+// counter; fn writes into per-index state, so scheduling cannot affect
+// results.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
