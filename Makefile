@@ -117,8 +117,12 @@ bench-audit:
 	$(GO) run ./cmd/benchaudit -out BENCH_audit.json
 
 # Geometry-kernel microbenchmarks: per-algorithm Locate timing through
-# the pre-kernel reference implementations vs the kernel, plus one full
-# quick-audit wall-clock run, recorded in BENCH_locate.json.
+# the pre-kernel reference implementations vs the kernel with the
+# quantized mask cache off and on, plus one full quick-audit wall-clock
+# run, recorded in BENCH_locate.json. Aborts (non-zero exit) if any
+# algorithm's region differs from the reference by even one cell on
+# either kernel path, or if the quick-fleet tally drifts from
+# 166/25/161 (DESIGN.md §8).
 bench-locate:
 	$(GO) run ./cmd/benchaudit -mode locate -out BENCH_locate.json
 

@@ -41,3 +41,34 @@ func allowedSentinel(wsum float64) bool {
 	//lint:allow floatexact division-by-zero guard: a sum of non-negative areas is zero iff the region is empty
 	return wsum == 0
 }
+
+// bracketEdge is distilled from the quantized mask cache: testing
+// whether a radius sits exactly on a quantization level with == invites
+// ULP disagreement between r/step truncation and q*step reconstruction,
+// misplacing the bracket by one level right where the annulus must
+// catch it.
+func bracketEdge(radius, step float64, q int) bool {
+	return radius == float64(q)*step // want "exact float comparison"
+}
+
+// annulusEdge: a float32 cached distance widened to float64 and
+// compared exactly against the cap radius is the same trap at the
+// annulus boundary.
+func annulusEdge(dist float32, maxKm float64) bool {
+	return float64(dist) != maxKm // want "exact float comparison"
+}
+
+// bracketFixup is the approved quantization-boundary shape: the level
+// guess from a division is re-established with one-sided ≤/>
+// comparisons only, so rounding at a bracket edge can never violate
+// the inner ⊆ exact ⊆ outer invariant. No equality anywhere.
+func bracketFixup(radius, step float64, n int) int {
+	q := int(radius / step)
+	for q > 0 && float64(q)*step > radius {
+		q--
+	}
+	for q < n-1 && float64(q+1)*step <= radius {
+		q++
+	}
+	return q
+}

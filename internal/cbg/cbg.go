@@ -271,7 +271,7 @@ func (c *CBG) Locate(ms []geoloc.Measurement) (*grid.Region, error) {
 		if i == min {
 			continue
 		}
-		region.IntersectWithinKm(c.env.Distances(m.LandmarkID, m.Landmark), radii[i])
+		c.env.IntersectWithinFor(region, m.LandmarkID, m.Landmark, radii[i])
 		if region.Empty() {
 			return region, nil
 		}

@@ -10,6 +10,7 @@ import (
 	"activegeo/internal/assess"
 	"activegeo/internal/datacenter"
 	"activegeo/internal/geo"
+	"activegeo/internal/grid"
 	"activegeo/internal/iclab"
 	"activegeo/internal/ipdb"
 	"activegeo/internal/mathx"
@@ -188,6 +189,13 @@ func (l *Lab) Audit() (*AuditRun, error) {
 	}
 	tel := l.Telemetry
 	servers := l.Fleet.Servers()
+	// Cache counters are cumulative over the Env's lifetime; snapshot
+	// them here so the deltas reported below cover this audit only.
+	fieldBefore := l.Env.Field.Stats()
+	var maskBefore grid.MaskStats
+	if l.Env.Masks != nil {
+		maskBefore = l.Env.Masks.Stats()
+	}
 	run := &AuditRun{
 		byServer: make(map[string]*assess.Result, len(servers)),
 		Errors:   map[string]ServerError{},
@@ -311,6 +319,17 @@ func (l *Lab) Audit() (*AuditRun, error) {
 		tel.Add("audit.faults.lostlandmarks", int64(run.LostLandmarks))
 		tel.Add("audit.faults.disconnects", int64(run.Disconnects))
 		tel.Add("audit.faults.degraded", int64(run.DegradedServers))
+	}
+	fieldAfter := l.Env.Field.Stats()
+	tel.Add("geo.field.hits", int64(fieldAfter.Hits-fieldBefore.Hits))
+	tel.Add("geo.field.misses", int64(fieldAfter.Misses-fieldBefore.Misses))
+	tel.Add("geo.field.evictions", int64(fieldAfter.Evictions-fieldBefore.Evictions))
+	if l.Env.Masks != nil {
+		maskAfter := l.Env.Masks.Stats()
+		tel.Add("geo.mask.hits", int64(maskAfter.Hits-maskBefore.Hits))
+		tel.Add("geo.mask.misses", int64(maskAfter.Misses-maskBefore.Misses))
+		tel.Add("geo.mask.evictions", int64(maskAfter.Evictions-maskBefore.Evictions))
+		tel.Add("geo.mask.refined", int64(maskAfter.RefinedCells-maskBefore.RefinedCells))
 	}
 	l.audit = run
 	return run, nil

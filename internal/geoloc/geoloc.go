@@ -57,6 +57,15 @@ type Env struct {
 	// geometry is computed once per Env, not once per (target,
 	// algorithm). Shared slices are immutable.
 	Field *grid.DistanceField
+
+	// Masks caches each landmark's radius-quantized cap-mask family,
+	// built from Field, so cap/ring region construction is word-wise
+	// with the exact distance predicate confined to the quantization
+	// annulus (DESIGN.md §8). nil disables the mask fast path; every
+	// geometry method then falls back to the per-cell distance scans
+	// and produces byte-identical results — the toggle benchaudit's
+	// mask-off column uses.
+	Masks *grid.MaskCache
 }
 
 // DefaultFieldEntries bounds the distance cache. The paper-scale
@@ -68,11 +77,22 @@ const DefaultFieldEntries = 2048
 // NewEnv builds an environment at the given grid resolution (degrees).
 func NewEnv(resDeg float64) *Env {
 	g := grid.New(resDeg)
+	f := grid.NewDistanceField(g, DefaultFieldEntries)
 	return &Env{
 		Grid:  g,
 		Mask:  worldmap.NewMask(g),
-		Field: grid.NewDistanceField(g, DefaultFieldEntries),
+		Field: f,
+		Masks: grid.NewMaskCache(f, DefaultFieldEntries, grid.DefaultMaskStepKm),
 	}
+}
+
+// masksFor returns the landmark's quantized mask family, or nil when
+// the mask cache is disabled.
+func (e *Env) masksFor(id netsim.HostID, landmark geo.Point) *grid.CapMasks {
+	if e.Masks == nil {
+		return nil
+	}
+	return e.Masks.Masks(grid.FieldKey{ID: string(id), Lat: landmark.Lat, Lon: landmark.Lon})
 }
 
 // Distances returns the cached distance-from-landmark slice for a
@@ -83,12 +103,49 @@ func (e *Env) Distances(id netsim.HostID, landmark geo.Point) []float32 {
 
 // CapRegionFor builds the cap's region from the landmark's cached
 // distance field, with AddCap's semantics (the cap center's cell is
-// always included).
+// always included). With the mask cache enabled the fill is word-wise
+// against the bracketing quantized masks; the fallback is the per-cell
+// AddWithinKm scan. Both paths apply the same float64 predicate to
+// every boundary cell, so the regions are byte-identical.
 func (e *Env) CapRegionFor(id netsim.HostID, c geo.Cap) *grid.Region {
-	dist := e.Distances(id, c.Center)
 	r := e.Grid.NewRegion()
+	if cm := e.masksFor(id, c.Center); cm != nil {
+		if c.RadiusKm > 0 {
+			cm.FillWithinKm(r, c.RadiusKm)
+		}
+		r.Add(e.Grid.CellAt(c.Center))
+		return r
+	}
+	dist := e.Distances(id, c.Center)
 	r.AddWithinKm(dist, c.RadiusKm, e.Grid.CellAt(c.Center))
 	return r
+}
+
+// IntersectWithinFor prunes r to the cells within maxKm of the
+// landmark — Region.IntersectWithinKm over the landmark's cached
+// distances, word-wise against the quantized masks when the mask cache
+// is enabled. CBG's per-measurement disk intersection runs through
+// here.
+func (e *Env) IntersectWithinFor(r *grid.Region, id netsim.HostID, landmark geo.Point, maxKm float64) {
+	if cm := e.masksFor(id, landmark); cm != nil {
+		cm.IntersectWithinKm(r, maxKm)
+		return
+	}
+	r.IntersectWithinKm(e.Distances(id, landmark), maxKm)
+}
+
+// InvalidateLandmark evicts the host's entries from both the distance
+// field and the mask cache, returning how many of each were dropped.
+// Call it when the fleet churns (a landmark decommissioned, or a host
+// re-provisioned at a new position); the host+position keys already
+// prevent stale entries from being *served* for a moved host, and this
+// reclaims their memory immediately.
+func (e *Env) InvalidateLandmark(id netsim.HostID) (fields, masks int) {
+	fields = e.Field.Invalidate(string(id))
+	if e.Masks != nil {
+		masks = e.Masks.Invalidate(string(id))
+	}
+	return fields, masks
 }
 
 // RingRegionFor builds the ring's region from the landmark's cached
@@ -96,7 +153,6 @@ func (e *Env) CapRegionFor(id netsim.HostID, c geo.Cap) *grid.Region {
 // boundary-cell shrink of the inner cap and AddCap's center-cell rule).
 func (e *Env) RingRegionFor(id netsim.HostID, ring geo.Ring) *grid.Region {
 	g := e.Grid
-	dist := e.Distances(id, ring.Center)
 	r := g.NewRegion()
 	// RingRegion subtracts the inner cap only when it can be shrunk by
 	// one cell diagonal while staying positive; otherwise boundary cells
@@ -108,10 +164,18 @@ func (e *Env) RingRegionFor(id netsim.HostID, ring geo.Ring) *grid.Region {
 		}
 	}
 	if ring.MaxKm > 0 {
-		for i, d := range dist {
-			dd := float64(d)
-			if dd <= ring.MaxKm && dd > shrink {
-				r.Add(i)
+		if cm := e.masksFor(id, ring.Center); cm != nil {
+			// Word-wise: certain ring cells by mask algebra, exact
+			// two-sided predicate only near the two quantization
+			// boundaries. Byte-identical to the scan below.
+			cm.FillRingKm(r, shrink, ring.MaxKm)
+		} else {
+			dist := e.Distances(id, ring.Center)
+			for i, d := range dist {
+				dd := float64(d)
+				if dd <= ring.MaxKm && dd > shrink {
+					r.Add(i)
+				}
 			}
 		}
 	}

@@ -110,6 +110,25 @@ func (f *DistanceField) evictLocked(keep *fieldEntry) {
 	}
 }
 
+// Invalidate evicts every cached field whose key carries the given
+// host ID (at any position) and returns how many were dropped. The
+// position-in-key rule already guarantees a moved host is never served
+// a stale slice; Invalidate additionally reclaims the dead entries so
+// churned landmarks don't squat in the LRU until capacity pressure.
+func (f *DistanceField) Invalidate(id string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for k := range f.entries {
+		if k.ID == id {
+			delete(f.entries, k)
+			n++
+		}
+	}
+	f.evictions += uint64(n)
+	return n
+}
+
 // FieldStats reports cache effectiveness counters.
 type FieldStats struct {
 	Entries   int

@@ -113,3 +113,24 @@ func TestDistanceFieldConcurrent(t *testing.T) {
 		t.Errorf("capacity exceeded: %+v", s)
 	}
 }
+
+// TestDistanceFieldInvalidate: invalidating a host ID must drop its
+// entries at every cached position (the moved-host shape) and leave
+// other hosts untouched.
+func TestDistanceFieldInvalidate(t *testing.T) {
+	g := New(10)
+	f := NewDistanceField(g, 8)
+	f.Distances(FieldKey{ID: "m", Lat: 1, Lon: 2})
+	f.Distances(FieldKey{ID: "m", Lat: 3, Lon: 4}) // same host, new position
+	f.Distances(FieldKey{ID: "n", Lat: 5, Lon: 6})
+	if n := f.Invalidate("m"); n != 2 {
+		t.Fatalf("Invalidate(m) = %d, want 2", n)
+	}
+	s := f.Stats()
+	if s.Entries != 1 || s.Evictions != 2 {
+		t.Fatalf("stats after invalidate = %+v, want 1 entry, 2 evictions", s)
+	}
+	if n := f.Invalidate("m"); n != 0 {
+		t.Fatalf("second Invalidate(m) = %d, want 0", n)
+	}
+}

@@ -298,13 +298,51 @@ func (r *Region) SubtractWith(other *Region) {
 	}
 }
 
-// Filter removes every cell for which keep returns false.
+// Filter removes every cell for which keep returns false. Like
+// IntersectWithinKm, the walk is word-wise: zero words are skipped and
+// each surviving word's keep-mask is built locally and stored once,
+// instead of a Remove per rejected cell. The predicate is applied to
+// exactly the same cells in the same order as the bit-by-bit reference,
+// so the resulting bits are identical.
 func (r *Region) Filter(keep func(center geo.Point) bool) {
+	for w, word := range r.bits {
+		if word == 0 {
+			continue
+		}
+		out := word
+		base := w * 64
+		for t := word; t != 0; t &= t - 1 {
+			b := bits.TrailingZeros64(t)
+			if !keep(r.g.centers[base+b]) {
+				out &^= 1 << uint(b)
+			}
+		}
+		r.bits[w] = out
+	}
+}
+
+// FilterReference is the pre-kernel Filter (bit-by-bit walk with a
+// Remove per rejected cell), kept as the oracle/baseline; new code
+// should use Filter.
+func (r *Region) FilterReference(keep func(center geo.Point) bool) {
 	r.Each(func(i int) {
 		if !keep(r.g.centers[i]) {
 			r.Remove(i)
 		}
 	})
+}
+
+// Equal reports whether r and other contain exactly the same cells.
+func (r *Region) Equal(other *Region) bool {
+	if len(r.bits) != len(other.bits) {
+		return false
+	}
+	for i, w := range r.bits {
+		if w != other.bits[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // IntersectsRegion reports whether r and other share at least one cell.

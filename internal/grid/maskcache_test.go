@@ -1,0 +1,255 @@
+package grid
+
+// Tests for the per-landmark quantized mask cache: the bracket
+// invariant (inner mask ⊆ exact region ⊆ outer mask) across grid
+// resolutions and degenerate radii, byte-identical equivalence of the
+// word-wise fill/intersect/ring ops against the per-cell scans they
+// replace, and the LRU / invalidation / shared-build behaviour of the
+// cache itself.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"activegeo/internal/geo"
+)
+
+// maskTestRadii returns the stress radii for one trial: the
+// quantization boundaries themselves (exactly q·step, one ULP either
+// side), degenerate values (negative, zero, -Inf via callers),
+// antipodal and beyond-antipodal distances, plus random draws.
+func maskTestRadii(cm *CapMasks, rng *rand.Rand) []float64 {
+	maxSphere := math.Pi * geo.EarthRadiusKm
+	radii := []float64{
+		-5, 0, 1e-9,
+		cm.StepKm(), math.Nextafter(cm.StepKm(), 0), math.Nextafter(cm.StepKm(), math.Inf(1)),
+		3 * cm.StepKm(), 3*cm.StepKm() - 1e-9,
+		maxSphere, maxSphere + 100, geo.HalfEquatorKm,
+	}
+	for k := 0; k < 8; k++ {
+		radii = append(radii, rng.Float64()*geo.HalfEquatorKm)
+	}
+	return radii
+}
+
+// TestMaskBracketInvariant: for every radius, the inner bracketing mask
+// must be a subset of the exact region and the exact region a subset of
+// the outer bracketing mask — across resolutions, with pole-centered
+// and equatorial landmarks and degenerate radii.
+func TestMaskBracketInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, res := range []float64{5.0, 2.5, 1.5} {
+		g := New(res)
+		centers := []geo.Point{
+			{Lat: 89.9, Lon: 12},  // pole-crossing caps
+			{Lat: -89.9, Lon: -7}, // south pole
+			{Lat: 0, Lon: 179.9},  // antimeridian
+			randomCap(rng).Center,
+			randomCap(rng).Center,
+		}
+		for _, p := range centers {
+			dist := g.DistancesFrom(p)
+			cm := newCapMasks(g, dist, DefaultMaskStepKm, nil)
+			for _, rKm := range maskTestRadii(cm, rng) {
+				lo, hi := cm.bracket(rKm)
+				inner, outer := cm.level(lo), cm.level(hi)
+				for i, d := range dist {
+					w, bit := i/64, uint64(1)<<uint(i%64)
+					exact := float64(d) <= rKm
+					in := inner != nil && inner[w]&bit != 0
+					out := outer[w]&bit != 0
+					if in && !exact {
+						t.Fatalf("res %v radius %v cell %d (dist %v): inner mask ⊄ exact region (lo=%d)", res, rKm, i, d, lo)
+					}
+					if exact && !out {
+						t.Fatalf("res %v radius %v cell %d (dist %v): exact region ⊄ outer mask (hi=%d)", res, rKm, i, d, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaskFillWithinKmMatchesAddWithinKm: the word-wise cap fill plus
+// the caller's center-cell rule must be byte-identical to AddWithinKm
+// over the same distance slice.
+func TestMaskFillWithinKmMatchesAddWithinKm(t *testing.T) {
+	g := New(2.5)
+	rng := rand.New(rand.NewSource(72))
+	for k := 0; k < 40; k++ {
+		c := randomCap(rng)
+		dist := g.DistancesFrom(c.Center)
+		cm := newCapMasks(g, dist, DefaultMaskStepKm, nil)
+		center := g.CellAt(c.Center)
+		for _, rKm := range maskTestRadii(cm, rng) {
+			a, b := g.NewRegion(), g.NewRegion()
+			if rKm > 0 {
+				cm.FillWithinKm(a, rKm)
+			}
+			a.Add(center)
+			b.AddWithinKm(dist, rKm, center)
+			if !a.Equal(b) {
+				t.Fatalf("cap %v radius %v: mask fill differs from AddWithinKm (%d vs %d cells)",
+					c.Center, rKm, a.Count(), b.Count())
+			}
+		}
+	}
+}
+
+// TestMaskIntersectWithinKmMatches: pruning a ragged region through the
+// bracketing masks must be byte-identical to the per-bit keep-mask
+// kernel (and therefore to the bit-by-bit reference it is tested
+// against elsewhere).
+func TestMaskIntersectWithinKmMatches(t *testing.T) {
+	g := New(2.5)
+	rng := rand.New(rand.NewSource(73))
+	for k := 0; k < 40; k++ {
+		r := randomRegion(g, rng)
+		lm := randomCap(rng).Center
+		dist := g.DistancesFrom(lm)
+		cm := newCapMasks(g, dist, DefaultMaskStepKm, nil)
+		for _, rKm := range maskTestRadii(cm, rng) {
+			a, b := r.Clone(), r.Clone()
+			cm.IntersectWithinKm(a, rKm)
+			b.IntersectWithinKm(dist, rKm)
+			if !a.Equal(b) {
+				t.Fatalf("radius %v: mask intersect differs from kernel (%d vs %d cells)", rKm, a.Count(), b.Count())
+			}
+		}
+	}
+}
+
+// TestMaskFillRingKmMatches: the two-bracket ring fill must reproduce
+// the exact two-sided predicate (min < dist ≤ max) bit for bit,
+// including an unbounded inner edge (−Inf), inverted bounds, and rings
+// past the antipode.
+func TestMaskFillRingKmMatches(t *testing.T) {
+	g := New(2.5)
+	rng := rand.New(rand.NewSource(74))
+	maxSphere := math.Pi * geo.EarthRadiusKm
+	for k := 0; k < 40; k++ {
+		lm := randomCap(rng).Center
+		dist := g.DistancesFrom(lm)
+		cm := newCapMasks(g, dist, DefaultMaskStepKm, nil)
+		bounds := [][2]float64{
+			{math.Inf(-1), rng.Float64() * geo.HalfEquatorKm},
+			{rng.Float64() * 2000, rng.Float64() * geo.HalfEquatorKm},
+			{cm.StepKm(), 2 * cm.StepKm()},
+			{math.Nextafter(cm.StepKm(), 0), cm.StepKm()},
+			{5000, 4000}, // inverted: empty ring
+			{maxSphere, maxSphere + 500},
+			{math.Inf(-1), maxSphere + 500},
+			{0, 1e-9},
+		}
+		for _, mm := range bounds {
+			minEx, maxKm := mm[0], mm[1]
+			a := g.NewRegion()
+			cm.FillRingKm(a, minEx, maxKm)
+			b := g.NewRegion()
+			for i, d := range dist {
+				dd := float64(d)
+				if dd <= maxKm && dd > minEx {
+					b.Add(i)
+				}
+			}
+			if !a.Equal(b) {
+				t.Fatalf("ring (%v, %v]: mask fill differs from scan (%d vs %d cells)", minEx, maxKm, a.Count(), b.Count())
+			}
+		}
+	}
+}
+
+// TestMaskCacheLRUAndStats exercises the bounded cache: hits, misses,
+// LRU eviction beyond capacity, and ID-wide invalidation across
+// positions (the moved-host key shape).
+func TestMaskCacheLRUAndStats(t *testing.T) {
+	g := New(5)
+	f := NewDistanceField(g, 8)
+	c := NewMaskCache(f, 2, DefaultMaskStepKm)
+
+	kA := FieldKey{ID: "a", Lat: 10, Lon: 20}
+	kB := FieldKey{ID: "b", Lat: -30, Lon: 40}
+	kC := FieldKey{ID: "c", Lat: 50, Lon: -60}
+
+	mA := c.Masks(kA)
+	if got := c.Masks(kA); got != mA {
+		t.Fatalf("second request for same key returned a different mask family")
+	}
+	c.Masks(kB)
+	c.Masks(kC) // evicts kA (LRU)
+	s := c.Stats()
+	if s.Entries != 2 || s.Misses != 3 || s.Hits != 1 || s.Evictions != 1 {
+		t.Fatalf("stats after LRU churn = %+v, want entries 2, misses 3, hits 1, evictions 1", s)
+	}
+	if s.Levels <= 0 || s.BytesPerMask <= 0 {
+		t.Fatalf("stats missing geometry: %+v", s)
+	}
+
+	// Same ID at a new position is a distinct key (moved host): the old
+	// entry can never be served, and Invalidate sweeps both positions.
+	kB2 := FieldKey{ID: "b", Lat: -31, Lon: 41}
+	c.Masks(kB2)
+	if n := c.Invalidate("b"); n == 0 {
+		t.Fatalf("Invalidate(b) evicted nothing")
+	}
+	for _, e := range []FieldKey{kB, kB2} {
+		c.mu.Lock()
+		_, still := c.entries[e]
+		c.mu.Unlock()
+		if still {
+			t.Fatalf("entry %+v survived Invalidate", e)
+		}
+	}
+	if n := c.Invalidate("nope"); n != 0 {
+		t.Fatalf("Invalidate(nope) = %d, want 0", n)
+	}
+}
+
+// TestMaskCacheSharedBuild: concurrent requests for one landmark must
+// share a single build and return the same family.
+func TestMaskCacheSharedBuild(t *testing.T) {
+	g := New(5)
+	f := NewDistanceField(g, 4)
+	c := NewMaskCache(f, 4, DefaultMaskStepKm)
+	key := FieldKey{ID: "x", Lat: 1, Lon: 2}
+
+	const n = 16
+	got := make([]*CapMasks, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = c.Masks(key)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d got a different mask family", i)
+		}
+	}
+	if s := c.Stats(); s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (single shared build)", s.Misses)
+	}
+}
+
+// TestMaskRefinedCounter: ops through the cache must account the
+// annulus cells they refined exactly.
+func TestMaskRefinedCounter(t *testing.T) {
+	g := New(5)
+	f := NewDistanceField(g, 4)
+	c := NewMaskCache(f, 4, DefaultMaskStepKm)
+	cm := c.Masks(FieldKey{ID: "x", Lat: 10, Lon: 10})
+	r := g.NewRegion()
+	cm.FillWithinKm(r, 3000)
+	s := c.Stats()
+	if s.RefinedCells == 0 {
+		t.Fatalf("refined-cell counter did not advance")
+	}
+	if total := uint64(g.NumCells()); s.RefinedCells >= total {
+		t.Fatalf("refined %d of %d cells — annulus refinement degenerated to a full scan", s.RefinedCells, total)
+	}
+}

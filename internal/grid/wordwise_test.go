@@ -97,3 +97,29 @@ func TestCountInRange(t *testing.T) {
 		}
 	}
 }
+
+// TestFilterMatchesReference: the word-wise keep-mask Filter applies
+// the identical predicate to the identical cells, so the resulting
+// bitsets must be byte-identical to the bit-by-bit reference — for
+// ragged geometric predicates and for keep-all/drop-all extremes.
+func TestFilterMatchesReference(t *testing.T) {
+	g := New(2.5)
+	rng := rand.New(rand.NewSource(34))
+	preds := []func(p geo.Point) bool{
+		func(p geo.Point) bool { return p.Lat <= 85 && p.Lat >= -60 },
+		func(p geo.Point) bool { return p.Lon > 10 || p.Lat < -20 },
+		func(p geo.Point) bool { return math.Mod(math.Abs(p.Lat)+math.Abs(p.Lon), 7) < 3.5 },
+		func(p geo.Point) bool { return true },
+		func(p geo.Point) bool { return false },
+	}
+	for k := 0; k < 50; k++ {
+		r := randomRegion(g, rng)
+		keep := preds[k%len(preds)]
+		a, b := r.Clone(), r.Clone()
+		a.Filter(keep)
+		b.FilterReference(keep)
+		if !a.Equal(b) {
+			t.Fatalf("trial %d: Filter differs from reference (%d vs %d cells)", k, a.Count(), b.Count())
+		}
+	}
+}
