@@ -3,6 +3,8 @@
 #   make ci            vet + lint + build + unit tests + bench compile + gofmt + race smoke
 #   make ci-local      alias for `make ci` — the exact gate .github/workflows/ci.yml runs
 #   make lint          geolint static-analysis suite over the whole tree (DESIGN.md §9)
+#   make lint-json     same suite, machine-readable geolint.json (the CI artifact)
+#   make lint-fix-check  assert `geolint -fix -diff` has no pending rewrites
 #   make vuln          govulncheck, if installed; soft-fails offline
 #   make race          full test suite under the race detector
 #   make race-smoke    quick audit pipeline only, under the race detector
@@ -19,7 +21,7 @@ GO ?= go
 FUZZTIME ?= 30s
 COVER_FLOOR ?= 85.0
 
-.PHONY: all vet lint vuln build test race race-smoke soak fuzz-smoke cover ci ci-local benchcompile fmtcheck bench-audit bench-locate bench-faults bench-atlasd bench-stream clean
+.PHONY: all vet lint lint-json lint-fix-check vuln build test race race-smoke soak fuzz-smoke cover ci ci-local benchcompile fmtcheck bench-audit bench-locate bench-faults bench-atlasd bench-stream clean
 
 all: ci
 
@@ -27,9 +29,24 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific invariants (determinism, sim clock, map order, shared
-# RNG, float equality, dropped errors) — see DESIGN.md §9.
+# RNG, float equality, dropped errors, lock discipline, unit safety,
+# goroutine ownership) — see DESIGN.md §9. The loader runs over a
+# GOMAXPROCS worker pool (geolint's default); output is byte-identical
+# to -parallel=1.
 lint:
 	$(GO) run ./cmd/geolint ./...
+
+# Machine-readable lint report for the CI artifact. Written even when
+# the tree is clean (count 0) so every CI run carries the report.
+lint-json:
+	$(GO) run ./cmd/geolint -json ./... > geolint.json || (cat geolint.json; exit 1)
+
+# No pending autofixes: -fix -diff must print nothing and exit 0 on a
+# clean tree, proving every suggested fix has already been applied or
+# directive-justified.
+lint-fix-check:
+	@out=$$($(GO) run ./cmd/geolint -fix -diff ./...) || (echo "$$out"; exit 1); \
+	if [ -n "$$out" ]; then echo "pending geolint fixes:"; echo "$$out"; exit 1; fi
 
 # Dependency vulnerability scan. govulncheck needs network access and
 # is not baked into every environment, so this target soft-fails: it
@@ -104,7 +121,7 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-ci: vet lint build test benchcompile fmtcheck race-smoke soak cover fuzz-smoke
+ci: vet lint lint-fix-check build test benchcompile fmtcheck race-smoke soak cover fuzz-smoke
 
 # The same gate, under the name the README documents for pre-push runs:
 # what passes `make ci-local` passes the ci.yml workflow, nothing more.

@@ -1,11 +1,22 @@
 // Command geolint is the repository's multichecker: it runs the
 // internal/analysis suite (detrand, simclock, maporder, sharedrand,
-// floatexact, errdrop) over the named packages and exits non-zero when
-// any invariant is violated.
+// floatexact, errdrop, lockorder, unitflow, goroleak) over the named
+// packages and exits non-zero when any invariant is violated.
 //
 // Usage:
 //
-//	geolint [-list] [packages]
+//	geolint [flags] [packages]
+//
+//	-list            list the analyzers and exit
+//	-json            emit findings as a JSON document (the CI artifact)
+//	-fix             apply suggested fixes to the source tree
+//	-diff            with -fix: print the rewrite as a unified diff
+//	                 instead of writing files (dry run)
+//	-baseline FILE   ratchet: suppress findings recorded in FILE, fail
+//	                 only on new ones
+//	-write-baseline  with -baseline: snapshot current findings to FILE
+//	-parallel N      package-load worker count (default GOMAXPROCS;
+//	                 1 = serial; output is identical either way)
 //
 // Packages are go-style patterns relative to the module root
 // ("./...", "./internal/geo", "internal/experiments/..."); the default
@@ -15,14 +26,18 @@
 //
 // on the flagged line or alone on the line above; there is no blanket
 // disable, and a malformed directive is itself a finding. Exit status:
-// 0 clean, 1 findings, 2 usage or load failure.
+// 0 clean, 1 findings (whether or not -fix repaired them), 2 usage or
+// load failure. Fix application is idempotent: running -fix twice
+// writes nothing the second time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"activegeo/internal/analysis"
 )
@@ -35,6 +50,12 @@ func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("geolint", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	fix := fs.Bool("fix", false, "apply suggested fixes")
+	diff := fs.Bool("diff", false, "with -fix: print the rewrite as a unified diff instead of writing")
+	baselinePath := fs.String("baseline", "", "ratchet file: suppress findings recorded in it")
+	writeBaseline := fs.Bool("write-baseline", false, "with -baseline: snapshot current findings and exit")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "package-load worker count (1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -45,6 +66,14 @@ func run(args []string, out, errw io.Writer) int {
 		}
 		return 0
 	}
+	if *diff && !*fix {
+		fmt.Fprintln(errw, "geolint: -diff requires -fix")
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(errw, "geolint: -write-baseline requires -baseline FILE")
+		return 2
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -54,39 +83,134 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintf(errw, "geolint: %v\n", err)
 		return 2
 	}
-	n, err := lintPatterns(wd, patterns, suite, out)
+	diags, modDir, err := lintPatterns(wd, patterns, suite, *parallel)
 	if err != nil {
 		fmt.Fprintf(errw, "geolint: %v\n", err)
 		return 2
 	}
-	if n > 0 {
-		fmt.Fprintf(out, "geolint: %d finding(s)\n", n)
+
+	if *writeBaseline {
+		b := analysis.NewBaseline(diags, modDir)
+		if err := b.WriteBaseline(*baselinePath); err != nil {
+			fmt.Fprintf(errw, "geolint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(out, "geolint: wrote baseline (%d finding(s)) to %s\n", len(diags), *baselinePath)
+		return 0
+	}
+	suppressed := 0
+	if *baselinePath != "" {
+		b, err := analysis.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(errw, "geolint: %v\n", err)
+			return 2
+		}
+		diags, suppressed = b.Filter(diags, modDir)
+	}
+
+	if *fix {
+		res, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintf(errw, "geolint: %v\n", err)
+			return 2
+		}
+		if *diff {
+			text, err := res.Diff()
+			if err != nil {
+				fmt.Fprintf(errw, "geolint: %v\n", err)
+				return 2
+			}
+			fmt.Fprint(out, text)
+		} else {
+			if err := res.WriteFixes(); err != nil {
+				fmt.Fprintf(errw, "geolint: %v\n", err)
+				return 2
+			}
+			if res.Applied > 0 || res.Skipped > 0 {
+				fmt.Fprintf(out, "geolint: applied %d fix(es), skipped %d\n", res.Applied, res.Skipped)
+			}
+		}
+		if len(diags) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	if *jsonOut {
+		if err := writeJSON(out, diags, suppressed); err != nil {
+			fmt.Fprintf(errw, "geolint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+		if suppressed > 0 {
+			fmt.Fprintf(out, "geolint: %d baselined finding(s) suppressed\n", suppressed)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(out, "geolint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
 		return 1
 	}
 	return 0
 }
 
-// lintPatterns loads the packages and prints every finding, returning
-// the count.
-func lintPatterns(dir string, patterns []string, suite []*analysis.Analyzer, out io.Writer) (int, error) {
+// jsonDiag is the stable JSON rendering of one finding.
+type jsonDiag struct {
+	File     string                  `json:"file"`
+	Line     int                     `json:"line"`
+	Col      int                     `json:"col"`
+	Analyzer string                  `json:"analyzer"`
+	Message  string                  `json:"message"`
+	Fixes    []analysis.SuggestedFix `json:"fixes,omitempty"`
+}
+
+func writeJSON(out io.Writer, diags []analysis.Diagnostic, suppressed int) error {
+	payload := struct {
+		Count      int        `json:"count"`
+		Suppressed int        `json:"suppressed"`
+		Findings   []jsonDiag `json:"findings"`
+	}{Count: len(diags), Suppressed: suppressed, Findings: []jsonDiag{}}
+	for _, d := range diags {
+		payload.Findings = append(payload.Findings, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Fixes:    d.Fixes,
+		})
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", data)
+	return err
+}
+
+// lintPatterns loads the packages over a worker pool and returns every
+// finding in deterministic (directory, position) order plus the module
+// root for baseline relativization.
+func lintPatterns(dir string, patterns []string, suite []*analysis.Analyzer, workers int) ([]analysis.Diagnostic, string, error) {
 	loader, err := analysis.NewLoader(dir)
 	if err != nil {
-		return 0, err
+		return nil, "", err
 	}
-	pkgs, err := loader.LoadPatterns(patterns...)
+	pkgs, err := loader.LoadPatternsParallel(workers, patterns...)
 	if err != nil {
-		return 0, err
+		return nil, "", err
 	}
-	total := 0
+	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		diags, err := analysis.RunPackage(pkg, suite)
 		if err != nil {
-			return total, err
+			return nil, "", err
 		}
-		for _, d := range diags {
-			fmt.Fprintln(out, d)
-		}
-		total += len(diags)
+		all = append(all, diags...)
 	}
-	return total, nil
+	return all, loader.ModDir, nil
 }

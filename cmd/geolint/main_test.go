@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -41,7 +44,8 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errw); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"detrand", "simclock", "maporder", "sharedrand", "floatexact", "errdrop"} {
+	for _, name := range []string{"detrand", "simclock", "maporder", "sharedrand", "floatexact",
+		"errdrop", "lockorder", "unitflow", "goroleak"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -53,5 +57,153 @@ func TestBadPatternExitsTwo(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run([]string{"./no/such/dir"}, &out, &errw); code != 2 {
 		t.Fatalf("exit = %d, want 2; stderr:\n%s", code, errw.String())
+	}
+}
+
+// TestJSONOutput: -json emits a machine-readable document with the
+// finding count and suggested fixes — the CI artifact format.
+func TestJSONOutput(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-json", "internal/analysis/testdata/src/errdrop"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errw.String())
+	}
+	var payload struct {
+		Count      int `json:"count"`
+		Suppressed int `json:"suppressed"`
+		Findings   []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+			Fixes    []struct {
+				Message string `json:"message"`
+			} `json:"fixes"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &payload); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if payload.Count == 0 || payload.Count != len(payload.Findings) {
+		t.Fatalf("count = %d with %d findings", payload.Count, len(payload.Findings))
+	}
+	for _, f := range payload.Findings {
+		if f.Analyzer != "errdrop" || f.Line == 0 || f.File == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		if len(f.Fixes) == 0 {
+			t.Errorf("errdrop finding lost its suggested fix: %+v", f)
+		}
+	}
+}
+
+// TestParallelOutputIdentical: -parallel N output is byte-identical to
+// the serial run, exit code included.
+func TestParallelOutputIdentical(t *testing.T) {
+	args := []string{"internal/analysis/testdata/src/errdrop", "internal/analysis/testdata/src/maporder"}
+	var serial, par, errw bytes.Buffer
+	codeS := run(append([]string{"-parallel=1"}, args...), &serial, &errw)
+	codeP := run(append([]string{"-parallel=8"}, args...), &par, &errw)
+	if codeS != codeP {
+		t.Fatalf("exit codes differ: serial %d, parallel %d", codeS, codeP)
+	}
+	if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+		t.Fatalf("outputs differ:\n--- serial ---\n%s--- parallel ---\n%s", serial.String(), par.String())
+	}
+	if serial.Len() == 0 {
+		t.Fatal("fixture run produced no output; the comparison is vacuous")
+	}
+}
+
+// TestBaselineFlow: -write-baseline snapshots the findings, a
+// subsequent -baseline run suppresses them and exits 0, and the ratchet
+// reports how much it swallowed.
+func TestBaselineFlow(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	pattern := "internal/analysis/testdata/src/errdrop"
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"-baseline", base, "-write-baseline", pattern}, &out, &errw); code != 0 {
+		t.Fatalf("write-baseline exit = %d; stderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "wrote baseline") {
+		t.Fatalf("no write confirmation:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-baseline", base, pattern}, &out, &errw); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "baselined finding(s) suppressed") {
+		t.Fatalf("suppression not reported:\n%s", out.String())
+	}
+
+	// The ratchet bites on anything new: a second fixture package the
+	// baseline has never seen fails the run.
+	out.Reset()
+	code := run([]string{"-baseline", base, pattern, "internal/analysis/testdata/src/maporder"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("new findings must fail a baselined run: exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "[maporder]") || strings.Contains(out.String(), "[errdrop]") {
+		t.Fatalf("want only the new maporder findings:\n%s", out.String())
+	}
+}
+
+// TestMissingBaselineIsUsageError: a typo'd -baseline path must not
+// silently tolerate everything.
+func TestMissingBaselineIsUsageError(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-baseline", filepath.Join(t.TempDir(), "nope.json"),
+		"internal/analysis/testdata/src/errdrop"}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestDiffRequiresFix pins the flag contract.
+func TestDiffRequiresFix(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-diff", "./..."}, &out, &errw); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestFixDiffDryRun: -fix -diff prints the pending rewrite without
+// touching the tree, and on a fixture with fixable findings the diff is
+// non-empty.
+func TestFixDiffDryRun(t *testing.T) {
+	fixture := "internal/analysis/testdata/src/errdrop/errdrop.go"
+	before, err := os.ReadFile(filepath.Join("..", "..", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	code := run([]string{"-fix", "-diff", "internal/analysis/testdata/src/errdrop"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings exist); stderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "+\t_ = c.Close()") {
+		t.Fatalf("diff does not show the rewrite:\n%s", out.String())
+	}
+	after, err := os.ReadFile(filepath.Join("..", "..", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("-fix -diff modified the tree")
+	}
+}
+
+// TestFixDiffCleanTree: on the clean repository -fix -diff emits no
+// pending rewrites and exits 0 — the make lint-fix-check gate.
+func TestFixDiffCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint: skipped with -short")
+	}
+	var out, errw bytes.Buffer
+	code := run([]string{"-fix", "-diff", "./..."}, &out, &errw)
+	if code != 0 || out.Len() != 0 {
+		t.Fatalf("clean tree has pending fixes (exit %d):\n%s%s", code, out.String(), errw.String())
 	}
 }

@@ -21,8 +21,25 @@
 //   - sharedrand: a *rand.Rand never crosses a goroutine boundary.
 //   - floatexact: geometry code never compares floats with == / !=
 //     (the acos-dot and haversine kernels differ by ULPs).
-//   - errdrop:    Close / SetDeadline errors on measurement sockets
-//     are handled or explicitly discarded, never silently dropped.
+//   - errdrop:    Close / SetDeadline / Drain / Sync / Shutdown / Flush
+//     errors on measurement sockets and lifecycle methods are handled
+//     or explicitly discarded, never silently dropped.
+//   - lockorder:  flow-sensitive lock tracking — no channel operation,
+//     network call or module-interface / function-valued callback runs
+//     while a sync.Mutex/RWMutex is held, and the per-package lock
+//     acquisition graph stays acyclic (consistent lock ordering).
+//   - unitflow:   a dimension-taint pass over float64 values tagged
+//     km / ms / deg / rad through identifier suffixes and the geo/mathx
+//     conversion helpers: cross-unit arithmetic without an explicit
+//     conversion is flagged (the paper's delay→distance bound is the
+//     canonical sink).
+//   - goroleak:   goroutines launched in library packages must have an
+//     owner — a context, a WaitGroup join, or a channel handoff.
+//
+// Diagnostics may carry mechanical SuggestedFixes which cmd/geolint
+// -fix applies (with -diff as dry-run); fix application is idempotent.
+// A ratchet baseline file (cmd/geolint -baseline) makes CI fail only on
+// findings not already recorded.
 //
 // # Allow directive
 //
@@ -46,11 +63,30 @@ import (
 )
 
 // Diagnostic is one finding, positioned in the file set of the loaded
-// package.
+// package. Fixes, when present, are mechanical repairs cmd/geolint -fix
+// can apply; applying them must make the diagnostic disappear on the
+// next run (the idempotence contract fix_test.go enforces).
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []SuggestedFix
+}
+
+// TextEdit replaces the byte range [Start, End) of Filename with
+// NewText. Offsets are byte offsets into the file as parsed.
+type TextEdit struct {
+	Filename string `json:"file"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	NewText  string `json:"new_text"`
+}
+
+// SuggestedFix is one self-contained mechanical repair: all edits are
+// applied together or not at all.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
 }
 
 func (d Diagnostic) String() string {
@@ -86,11 +122,31 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records a finding at pos carrying one suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
+	})
+}
+
+// Edit builds a TextEdit replacing the source range [from, to) with
+// newText, resolving positions through the pass's file set.
+func (p *Pass) Edit(from, to token.Pos, newText string) TextEdit {
+	start := p.Fset.Position(from)
+	end := p.Fset.Position(to)
+	return TextEdit{Filename: start.Filename, Start: start.Offset, End: end.Offset, NewText: newText}
+}
+
 // TypeOf is a nil-tolerant shorthand for Pass.Info.TypeOf.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
 // Suite returns all analyzers with their default scopes — the set
-// cmd/geolint runs and make lint enforces.
+// cmd/geolint runs and make lint enforces. The v1 syntactic checkers
+// come first, then the v2 flow-sensitive ones (lockorder, unitflow,
+// goroleak — DESIGN.md §9).
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		NewDetrand(DefaultSeedScope),
@@ -99,7 +155,22 @@ func Suite() []*Analyzer {
 		NewSharedrand(),
 		NewFloatexact(DefaultFloatExactScope),
 		NewErrdrop(),
+		NewLockorder(),
+		NewUnitflow(DefaultUnitFlowScope),
+		NewGoroleak(),
 	}
+}
+
+// SuiteNames returns the names of every suite analyzer — the universe
+// of valid //lint:allow targets, independent of which subset a given
+// run executes.
+func SuiteNames() []string {
+	suite := Suite()
+	names := make([]string, len(suite))
+	for i, a := range suite {
+		names[i] = a.Name
+	}
+	return names
 }
 
 // DirectiveAnalyzer is the pseudo-analyzer name under which malformed
@@ -156,9 +227,15 @@ func parseAllows(fset *token.FileSet, f *ast.File, known map[string]bool) ([]all
 // //lint:allow directive are dropped, malformed directives are added.
 // Findings are sorted by position.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// A directive may name any suite analyzer, not just the ones this
+	// run executes — partial runs must not misreport valid directives
+	// as unknown.
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
+	}
+	for _, name := range SuiteNames() {
+		known[name] = true
 	}
 	var raw []Diagnostic
 	for _, a := range analyzers {

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Baseline is the ratchet file: a snapshot of known findings that CI
+// tolerates, so the suite can grow stricter without a flag day — only
+// findings NOT in the baseline fail the run, and regenerating the file
+// after fixes ratchets the debt downward.
+//
+// Keys are file|analyzer|message with the filename relative to the
+// module root (line numbers are deliberately excluded so unrelated
+// edits shifting a file don't spuriously "create" findings); the value
+// counts identical findings, so adding a second instance of a
+// baselined problem still fails.
+type Baseline struct {
+	Findings map[string]int `json:"findings"`
+}
+
+// BaselineKey canonicalizes one diagnostic for baseline matching.
+// modDir, when non-empty, relativizes the filename.
+func BaselineKey(d Diagnostic, modDir string) string {
+	name := d.Pos.Filename
+	if modDir != "" {
+		if rel, err := filepath.Rel(modDir, name); err == nil && !filepath.IsAbs(rel) {
+			name = filepath.ToSlash(rel)
+		}
+	}
+	return name + "|" + d.Analyzer + "|" + d.Message
+}
+
+// NewBaseline snapshots the given diagnostics.
+func NewBaseline(diags []Diagnostic, modDir string) *Baseline {
+	b := &Baseline{Findings: map[string]int{}}
+	for _, d := range diags {
+		b.Findings[BaselineKey(d, modDir)]++
+	}
+	return b
+}
+
+// Filter splits diags into the new findings (not covered by the
+// baseline) and the count of baselined ones suppressed. For a key with
+// baseline count b, the first b occurrences in position order are
+// suppressed and the rest reported — deterministic, and an added
+// duplicate of a baselined finding still fails.
+func (b *Baseline) Filter(diags []Diagnostic, modDir string) (fresh []Diagnostic, suppressed int) {
+	remaining := make(map[string]int, len(b.Findings))
+	for k, v := range b.Findings {
+		remaining[k] = v
+	}
+	for _, d := range diags {
+		k := BaselineKey(d, modDir)
+		if remaining[k] > 0 {
+			remaining[k]--
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, suppressed
+}
+
+// WriteBaseline saves the baseline as stable JSON (encoding/json
+// renders map keys sorted, so the file diffs cleanly across runs).
+func (b *Baseline) WriteBaseline(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a baseline file. A missing file is an error — an
+// empty ratchet should be an explicitly committed empty baseline, not a
+// typo'd path silently tolerating everything.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	b := &Baseline{}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if b.Findings == nil {
+		b.Findings = map[string]int{}
+	}
+	return b, nil
+}

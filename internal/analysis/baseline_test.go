@@ -1,0 +1,83 @@
+package analysis_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"activegeo/internal/analysis"
+)
+
+func diag(file string, line int, analyzer, msg string) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+// TestBaselineRatchet: baselined findings are suppressed, new ones are
+// not, and a second instance of a baselined finding still fails — the
+// ratchet only ever tightens.
+func TestBaselineRatchet(t *testing.T) {
+	mod := "/mod"
+	old := []analysis.Diagnostic{
+		diag("/mod/a/a.go", 10, "errdrop", "Close error silently dropped"),
+		diag("/mod/b/b.go", 20, "goroleak", "goroutine launched without an owner"),
+	}
+	b := analysis.NewBaseline(old, mod)
+
+	// Identical findings (even at shifted lines) are suppressed.
+	shifted := []analysis.Diagnostic{
+		diag("/mod/a/a.go", 99, "errdrop", "Close error silently dropped"),
+		diag("/mod/b/b.go", 1, "goroleak", "goroutine launched without an owner"),
+	}
+	fresh, suppressed := b.Filter(shifted, mod)
+	if len(fresh) != 0 || suppressed != 2 {
+		t.Fatalf("fresh=%d suppressed=%d, want 0/2: %v", len(fresh), suppressed, fresh)
+	}
+
+	// A brand-new finding and a duplicate of a baselined one both
+	// surface; the single baseline slot covers only the first instance.
+	grown := append(shifted,
+		diag("/mod/a/a.go", 50, "errdrop", "Close error silently dropped"),
+		diag("/mod/c/c.go", 5, "unitflow", "mixing km and ms with +"),
+	)
+	fresh, suppressed = b.Filter(grown, mod)
+	if suppressed != 2 || len(fresh) != 2 {
+		t.Fatalf("fresh=%d suppressed=%d, want 2/2: %v", len(fresh), suppressed, fresh)
+	}
+}
+
+// TestBaselineKeyRelativizes: keys use module-relative slash paths so a
+// baseline written on one checkout matches another.
+func TestBaselineKeyRelativizes(t *testing.T) {
+	d := diag(filepath.Join("/home/x/repo", "internal", "geo", "geo.go"), 3, "unitflow", "m")
+	key := analysis.BaselineKey(d, "/home/x/repo")
+	if key != "internal/geo/geo.go|unitflow|m" {
+		t.Fatalf("key = %q", key)
+	}
+}
+
+// TestBaselineRoundTrip: write → read preserves the findings map, and
+// a missing file is an explicit error, not an empty ratchet.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	diags := []analysis.Diagnostic{
+		diag("/mod/a.go", 1, "errdrop", "Close error silently dropped"),
+		diag("/mod/a.go", 2, "errdrop", "Close error silently dropped"),
+	}
+	if err := analysis.NewBaseline(diags, "/mod").WriteBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := analysis.ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Findings["a.go|errdrop|Close error silently dropped"]; got != 2 {
+		t.Fatalf("count = %d, want 2 (identical findings accumulate)", got)
+	}
+	if _, err := analysis.ReadBaseline(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing baseline file must be an error, not an empty ratchet")
+	}
+}

@@ -5,22 +5,29 @@ import (
 	"go/types"
 )
 
-// errdropMethods are the socket-lifecycle methods whose error results
-// must not be silently dropped: a failed SetReadDeadline turns a
-// bounded measurement read into an unbounded hang, and a failed Close
-// leaks the connection the RTT was measured on.
+// errdropMethods are the socket- and service-lifecycle methods whose
+// error results must not be silently dropped: a failed SetReadDeadline
+// turns a bounded measurement read into an unbounded hang, a failed
+// Close leaks the connection the RTT was measured on, and a failed
+// Drain / Sync / Shutdown / Flush means the caller believes state was
+// persisted or quiesced when it was not.
 var errdropMethods = map[string]bool{
 	"Close":            true,
 	"SetDeadline":      true,
 	"SetReadDeadline":  true,
 	"SetWriteDeadline": true,
+	"Drain":            true,
+	"Sync":             true,
+	"Shutdown":         true,
+	"Flush":            true,
 }
 
 // NewErrdrop builds the errdrop analyzer: a bare expression-statement
-// call to Close / Set*Deadline that returns an error is flagged.
-// Handling the error, explicitly discarding it (`_ = c.Close()`), or
-// deferring the call (`defer c.Close()`, the idiomatic best-effort
-// cleanup) all pass.
+// call to one of the lifecycle methods above that returns exactly an
+// error is flagged, carrying a suggested fix that prefixes the call
+// with `_ = ` (the explicit discard the message asks for). Handling
+// the error, explicitly discarding it, or deferring the call
+// (`defer c.Close()`, the idiomatic best-effort cleanup) all pass.
 func NewErrdrop() *Analyzer {
 	a := &Analyzer{
 		Name: "errdrop",
@@ -47,7 +54,11 @@ func NewErrdrop() *Analyzer {
 					return true // pkg.Close(...) is not a method call
 				}
 				if t := pass.TypeOf(call); t != nil && isErrorType(t) {
-					pass.Reportf(call.Pos(),
+					fix := SuggestedFix{
+						Message: "discard the error explicitly with `_ = `",
+						Edits:   []TextEdit{pass.Edit(call.Pos(), call.Pos(), "_ = ")},
+					}
+					pass.ReportFix(call.Pos(), fix,
 						"%s error silently dropped: handle it or discard explicitly (_ = x.%s())",
 						sel.Sel.Name, sel.Sel.Name)
 				}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// FixResult describes one application of suggested fixes.
+type FixResult struct {
+	// Files maps each touched filename to its rewritten content.
+	Files map[string][]byte
+	// Applied counts the fixes whose edits were all applied.
+	Applied int
+	// Skipped counts fixes dropped because an edit overlapped one
+	// already applied (first-by-position wins, deterministically).
+	Skipped int
+}
+
+// ApplyFixes computes the result of applying every suggested fix
+// carried by diags. Files are read from disk; nothing is written — the
+// caller decides between -diff (print) and -fix (write). Fixes are
+// applied in diagnostic order (diags are already position-sorted);
+// within the run, a fix whose edits overlap an already-accepted edit is
+// skipped whole, so the result is deterministic and each edit range is
+// rewritten at most once. Applying the result and re-running the suite
+// must yield no further fixable diagnostics (idempotence; enforced by
+// fix_test.go).
+func ApplyFixes(diags []Diagnostic) (*FixResult, error) {
+	res := &FixResult{Files: map[string][]byte{}}
+	accepted := map[string][]TextEdit{}
+	overlaps := func(e TextEdit) bool {
+		for _, a := range accepted[e.Filename] {
+			if e.Start < a.End && a.Start < e.End {
+				return true
+			}
+			// Two pure insertions at the same offset would be
+			// order-dependent; reject the later one.
+			if e.Start == e.End && a.Start == a.End && e.Start == a.Start {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			ok := true
+			for _, e := range fix.Edits {
+				if e.Start < 0 || e.End < e.Start || overlaps(e) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				res.Skipped++
+				continue
+			}
+			for _, e := range fix.Edits {
+				accepted[e.Filename] = append(accepted[e.Filename], e)
+			}
+			res.Applied++
+		}
+	}
+	for name, edits := range accepted {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		for _, e := range edits {
+			if e.End > len(src) {
+				return nil, fmt.Errorf("analysis: edit [%d,%d) past end of %s (%d bytes)",
+					e.Start, e.End, name, len(src))
+			}
+			src = append(src[:e.Start], append([]byte(e.NewText), src[e.End:]...)...)
+		}
+		res.Files[name] = src
+	}
+	return res, nil
+}
+
+// WriteFixes writes the rewritten files back to disk.
+func (r *FixResult) WriteFixes() error {
+	names := make([]string, 0, len(r.Files))
+	for name := range r.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := os.WriteFile(name, r.Files[name], 0o644); err != nil {
+			return fmt.Errorf("analysis: writing fixes: %w", err)
+		}
+	}
+	return nil
+}
+
+// Diff renders the pending rewrites as a unified diff, files in name
+// order — the -fix -diff dry-run output. Empty when nothing changes.
+func (r *FixResult) Diff() (string, error) {
+	names := make([]string, 0, len(r.Files))
+	for name := range r.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		old, err := os.ReadFile(name)
+		if err != nil {
+			return "", fmt.Errorf("analysis: diffing fixes: %w", err)
+		}
+		if string(old) == string(r.Files[name]) {
+			continue
+		}
+		fmt.Fprintf(&b, "--- %s\n+++ %s (fixed)\n", name, name)
+		b.WriteString(unifiedDiff(splitLines(string(old)), splitLines(string(r.Files[name]))))
+	}
+	return b.String(), nil
+}
+
+func splitLines(s string) []string {
+	lines := strings.SplitAfter(s, "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// unifiedDiff emits minimal unified hunks (context 2) from an LCS table.
+// Linted files are source files, small enough for the quadratic table.
+func unifiedDiff(a, b []string) string {
+	n, m := len(a), len(b)
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	type op struct {
+		kind byte // ' ', '-', '+'
+		line string
+	}
+	var ops []op
+	for i, j := 0, 0; i < n || j < m; {
+		switch {
+		case i < n && j < m && a[i] == b[j]:
+			ops = append(ops, op{' ', a[i]})
+			i++
+			j++
+		case j < m && (i == n || lcs[i][j+1] >= lcs[i+1][j]):
+			ops = append(ops, op{'+', b[j]})
+			j++
+		default:
+			ops = append(ops, op{'-', a[i]})
+			i++
+		}
+	}
+	const ctx = 2
+	var out strings.Builder
+	for k := 0; k < len(ops); {
+		if ops[k].kind == ' ' {
+			k++
+			continue
+		}
+		// Hunk: back up for context, extend past trailing context.
+		start := k
+		for start > 0 && k-start < ctx && ops[start-1].kind == ' ' {
+			start--
+		}
+		end := k
+		gap := 0
+		for end < len(ops) {
+			if ops[end].kind == ' ' {
+				gap++
+				if gap > 2*ctx {
+					break
+				}
+			} else {
+				gap = 0
+			}
+			end++
+		}
+		for end > start && ops[end-1].kind == ' ' && gap > ctx {
+			end--
+			gap--
+		}
+		aLine, bLine := 1, 1
+		for t := 0; t < start; t++ {
+			if ops[t].kind != '+' {
+				aLine++
+			}
+			if ops[t].kind != '-' {
+				bLine++
+			}
+		}
+		var aCount, bCount int
+		for t := start; t < end; t++ {
+			if ops[t].kind != '+' {
+				aCount++
+			}
+			if ops[t].kind != '-' {
+				bCount++
+			}
+		}
+		fmt.Fprintf(&out, "@@ -%d,%d +%d,%d @@\n", aLine, aCount, bLine, bCount)
+		for t := start; t < end; t++ {
+			out.WriteByte(ops[t].kind)
+			out.WriteString(ops[t].line)
+			if !strings.HasSuffix(ops[t].line, "\n") {
+				out.WriteString("\n\\ No newline at end of file\n")
+			}
+		}
+		k = end
+	}
+	return out.String()
+}

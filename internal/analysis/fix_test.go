@@ -1,0 +1,203 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"activegeo/internal/analysis"
+)
+
+// writeFixture drops one Go file into a temp package dir and returns
+// the dir.
+func writeFixture(t *testing.T, name, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func lintDir(t *testing.T, dir, path string, analyzers ...*analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+const errdropFixSrc = `package errfix
+
+type conn struct{}
+
+func (conn) Close() error           { return nil }
+func (conn) SetDeadline(int) error  { return nil }
+func (conn) Drain() error           { return nil }
+
+func drops(c conn) {
+	c.Close()
+	c.SetDeadline(10)
+	c.Drain()
+}
+`
+
+// TestErrdropFixIdempotent: applying the errdrop fixes removes every
+// finding, and a second application is a no-op — the idempotence
+// contract behind geolint -fix.
+func TestErrdropFixIdempotent(t *testing.T) {
+	dir := writeFixture(t, "errfix.go", errdropFixSrc)
+	a := analysis.NewErrdrop()
+
+	diags := lintDir(t, dir, "fixture/errfix", a)
+	if len(diags) != 3 {
+		t.Fatalf("want 3 findings before fixing, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if len(d.Fixes) != 1 {
+			t.Fatalf("finding carries no fix: %s", d)
+		}
+	}
+	res, err := analysis.ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 3 || res.Skipped != 0 {
+		t.Fatalf("applied/skipped = %d/%d, want 3/0", res.Applied, res.Skipped)
+	}
+	diff, err := res.Diff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diff, "+\t_ = c.Close()") {
+		t.Errorf("diff does not show the discard rewrite:\n%s", diff)
+	}
+	if err := res.WriteFixes(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second pass: the tree is clean and a re-application rewrites
+	// nothing.
+	again := lintDir(t, dir, "fixture/errfix2", a)
+	if len(again) != 0 {
+		t.Fatalf("findings survive their own fix: %v", again)
+	}
+	res2, err := analysis.ApplyFixes(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Applied != 0 || len(res2.Files) != 0 {
+		t.Fatalf("second application not a no-op: applied %d, %d file(s)", res2.Applied, len(res2.Files))
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "errfix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"_ = c.Close()", "_ = c.SetDeadline(10)", "_ = c.Drain()"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed source missing %q:\n%s", want, fixed)
+		}
+	}
+}
+
+const floatexactFixSrc = `package geofix
+
+import "activegeo/internal/mathx"
+
+func same(a, b float64) bool {
+	return a == b
+}
+
+func differ(a, b float64) bool {
+	return a != b || mathx.ApproxEqual(a, 0)
+}
+`
+
+// TestFloatexactFixIdempotent: == / != rewrite through
+// mathx.ApproxEqual when the file already imports mathx, and the
+// rewritten file is clean on the next run.
+func TestFloatexactFixIdempotent(t *testing.T) {
+	dir := writeFixture(t, "geofix.go", floatexactFixSrc)
+	a := analysis.NewFloatexact([]string{"fixture/geofix"})
+
+	diags := lintDir(t, dir, "fixture/geofix", a)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 findings, got %d: %v", len(diags), diags)
+	}
+	res, err := analysis.ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 {
+		t.Fatalf("applied = %d, want 2", res.Applied)
+	}
+	if err := res.WriteFixes(); err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "geofix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"return mathx.ApproxEqual(a, b)", "return !mathx.ApproxEqual(a, b) ||"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed source missing %q:\n%s", want, fixed)
+		}
+	}
+	if again := lintDir(t, dir, "fixture/geofix2", a); len(again) != 0 {
+		t.Fatalf("findings survive their own fix: %v", again)
+	}
+}
+
+// TestFloatexactFixGatedOnImport: without a mathx import the finding
+// is reported but carries no fix — suggested fixes edit text, not
+// import graphs.
+func TestFloatexactFixGatedOnImport(t *testing.T) {
+	dir := writeFixture(t, "nomathx.go", `package nomathx
+
+func same(a, b float64) bool { return a == b }
+`)
+	a := analysis.NewFloatexact([]string{"fixture/nomathx"})
+	diags := lintDir(t, dir, "fixture/nomathx", a)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 finding, got %v", diags)
+	}
+	if len(diags[0].Fixes) != 0 {
+		t.Fatalf("fix offered without the mathx import: %+v", diags[0].Fixes)
+	}
+}
+
+// TestOverlappingFixesSkippedDeterministically: two fixes editing the
+// same range apply first-by-position; the second is skipped whole.
+func TestOverlappingFixesSkippedDeterministically(t *testing.T) {
+	dir := writeFixture(t, "o.go", "package o\n")
+	name := filepath.Join(dir, "o.go")
+	mk := func(text string) analysis.Diagnostic {
+		return analysis.Diagnostic{
+			Analyzer: "test",
+			Fixes: []analysis.SuggestedFix{{
+				Message: text,
+				Edits:   []analysis.TextEdit{{Filename: name, Start: 0, End: 9, NewText: text}},
+			}},
+		}
+	}
+	res, err := analysis.ApplyFixes([]analysis.Diagnostic{mk("package a"), mk("package b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 1 {
+		t.Fatalf("applied/skipped = %d/%d, want 1/1", res.Applied, res.Skipped)
+	}
+	if got := string(res.Files[name]); got != "package a\n" {
+		t.Fatalf("first-by-position fix must win: %q", got)
+	}
+}

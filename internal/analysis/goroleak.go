@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewGoroleak builds the goroleak analyzer: goroutines launched in
+// library packages must have an owner — something that can observe
+// their termination or tell them to stop. Acceptable ownership marks,
+// checked over the spawned call's arguments and (for function
+// literals) its body:
+//
+//   - a sync.WaitGroup (the spawner can join),
+//   - a context.Context (the spawner can cancel),
+//   - a channel (a done/result handoff the spawner can select on).
+//
+// A bare `go f()` with none of these is a leak-by-construction: the
+// library hands a goroutine to the runtime with no way for any caller
+// to wait for it or stop it — exactly how measurement probes outlive a
+// cancelled experiment. package main is exempt (process exit is the
+// owner), as are test files (excluded from loads anyway).
+func NewGoroleak() *Analyzer {
+	a := &Analyzer{
+		Name: "goroleak",
+		Doc:  "flags goroutines launched without a WaitGroup, context, or channel owner",
+	}
+	a.Run = func(pass *Pass) error {
+		if pass.Pkg.Name() == "main" {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goOwned(pass, g.Call) {
+					pass.Reportf(g.Pos(),
+						"goroutine launched without an owner: pass a context, add it to a WaitGroup, or hand it a done channel so callers can join or cancel it")
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// goOwned reports whether the spawned call carries an ownership mark.
+func goOwned(pass *Pass, call *ast.CallExpr) bool {
+	found := false
+	mark := func(e ast.Expr) {
+		if found || e == nil {
+			return
+		}
+		if t := pass.TypeOf(e); t != nil && ownershipType(t) {
+			found = true
+		}
+	}
+	// Arguments (and the method receiver chain) may carry the owner:
+	// go worker(ctx, ch), go p.run(&wg).
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				mark(e)
+			}
+			return !found
+		})
+	}
+	// A function literal owns itself if its body touches a WaitGroup,
+	// context, or channel from the enclosing scope (wg.Done(), <-done,
+	// results <- v, ctx.Done()).
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				mark(e)
+			}
+			return !found
+		})
+	}
+	// A method call on a receiver that itself holds the owner
+	// (s.loop() where s has a done chan) is NOT accepted implicitly:
+	// the mark must be visible at the go statement. This is the point
+	// of the analyzer — ownership you can see at the launch site.
+	return found
+}
+
+// ownershipType recognizes the three ownership marks.
+func ownershipType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		_ = u
+		return true
+	case *types.Pointer:
+		return ownershipType(u.Elem())
+	case *types.Struct:
+		return isSyncType(t, "WaitGroup")
+	case *types.Interface:
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+		}
+	}
+	return false
+}

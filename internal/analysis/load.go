@@ -12,6 +12,8 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -29,13 +31,27 @@ type Package struct {
 // module directory, everything else resolves from GOROOT source. The
 // standard library is checked API-only (function bodies ignored), so a
 // whole-tree load stays fast.
+//
+// A Loader is safe for concurrent LoadDir calls: the file set is
+// internally synchronized and the dependency cache is a singleflight —
+// concurrent imports of the same path coalesce onto one check.
 type Loader struct {
 	ModPath string
 	ModDir  string
 
 	ctxt build.Context
 	fset *token.FileSet
-	deps map[string]*types.Package // API-only cache, shared across loads
+
+	depMu sync.Mutex
+	deps  map[string]*depCall // API-only singleflight cache, shared across loads
+}
+
+// depCall is one in-flight (or completed) dependency check; concurrent
+// importers of the same path wait on done instead of re-checking.
+type depCall struct {
+	done chan struct{}
+	pkg  *types.Package
+	err  error
 }
 
 // NewLoader locates the module root at or above dir and reads its path
@@ -77,7 +93,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModDir:  modDir,
 		ctxt:    ctxt,
 		fset:    token.NewFileSet(),
-		deps:    map[string]*types.Package{},
+		deps:    map[string]*depCall{},
 	}, nil
 }
 
@@ -152,26 +168,75 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 }
 
 // LoadPatterns expands the patterns and fully type-checks every
-// package directory that contains buildable Go files.
+// package directory that contains buildable Go files, serially.
 func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
+	return l.LoadPatternsParallel(1, patterns...)
+}
+
+// LoadPatternsParallel is LoadPatterns over a bounded worker pool:
+// package directories are parsed and type-checked on up to workers
+// goroutines (workers <= 1 selects the serial path), with dependency
+// checks coalescing in the shared singleflight cache. The returned
+// slice is in directory order regardless of completion order, so a
+// parallel load is byte-identical to a serial one — downstream
+// diagnostic ordering cannot observe the pool.
+func (l *Loader) LoadPatternsParallel(workers int, patterns ...string) ([]*Package, error) {
 	dirs, err := l.Expand(patterns)
 	if err != nil {
 		return nil, err
 	}
-	var pkgs []*Package
-	for _, dir := range dirs {
-		path, err := l.importPathFor(dir)
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	loaded := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	loadOne := func(i int) {
+		path, err := l.importPathFor(dirs[i])
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		pkg, err := l.LoadDir(dir, path)
+		pkg, err := l.LoadDir(dirs[i], path)
 		if err != nil {
 			if _, ok := err.(*build.NoGoError); ok {
-				continue
+				return // directory without buildable Go files: skip
 			}
-			return nil, err
+			errs[i] = err
+			return
 		}
-		pkgs = append(pkgs, pkg)
+		loaded[i] = pkg
+	}
+	if workers <= 1 {
+		for i := range dirs {
+			loadOne(i)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(dirs) {
+						return
+					}
+					loadOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	var pkgs []*Package
+	for i := range dirs {
+		if errs[i] != nil {
+			// First error in directory order, independent of scheduling.
+			return nil, errs[i]
+		}
+		if loaded[i] != nil {
+			pkgs = append(pkgs, loaded[i])
+		}
 	}
 	return pkgs, nil
 }
@@ -234,9 +299,29 @@ func (im *depImporter) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	if p, ok := l.deps[path]; ok {
-		return p, nil
+	// Singleflight: the first importer of a path checks it, concurrent
+	// importers wait on the same call. No lock is held during the check
+	// itself, so recursive imports (dependencies of the dependency)
+	// re-enter freely and cannot deadlock — Go import graphs have no
+	// cycles.
+	l.depMu.Lock()
+	if call, ok := l.deps[path]; ok {
+		l.depMu.Unlock()
+		<-call.done
+		return call.pkg, call.err
 	}
+	call := &depCall{done: make(chan struct{})}
+	l.deps[path] = call
+	l.depMu.Unlock()
+
+	call.pkg, call.err = im.check(path)
+	close(call.done)
+	return call.pkg, call.err
+}
+
+// check parses and API-only type-checks one dependency package.
+func (im *depImporter) check(path string) (*types.Package, error) {
+	l := im.loader()
 	dir, err := im.dirFor(path)
 	if err != nil {
 		return nil, err
@@ -262,7 +347,6 @@ func (im *depImporter) Import(path string) (*types.Package, error) {
 	// API-only checks of tag-filtered stdlib trees can surface benign
 	// body-level issues; a usable (possibly incomplete) package is
 	// enough for analysis, mirroring srcimporter's tolerance.
-	l.deps[path] = pkg
 	return pkg, nil
 }
 

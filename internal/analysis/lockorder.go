@@ -1,0 +1,498 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewLockorder builds the lockorder analyzer: a flow-sensitive pass
+// over sync.Mutex / sync.RWMutex critical sections.
+//
+// Within each function body the pass tracks the set of locks held
+// (Lock/RLock acquires, Unlock/RUnlock releases, `defer mu.Unlock()`
+// holds to function exit; branches are analyzed on copies of the held
+// set, so an early-unlock-and-return path does not leak into the fall
+// through). While at least one lock is held it flags
+//
+//   - channel sends, receives and blocking selects (a select with a
+//     default clause is a non-blocking poll and passes);
+//   - network calls — any function or method from net, net/http,
+//     net/textproto, net/rpc or crypto/tls (the atlasd drain path and
+//     proxy forwarder are the motivating surfaces);
+//   - time.Sleep and sync.WaitGroup.Wait (sync.Cond.Wait is exempt: it
+//     releases its locker while parked — the drainGate pattern);
+//   - callbacks: calls through function-valued variables or fields
+//     (Config.OnBatchDone, modelCache.fit) and module-interface
+//     methods (stream.Provisioner / Source, geoloc.Algorithm) — code
+//     the lock holder does not control and that may block or re-enter;
+//   - re-acquiring a lock already held (sync mutexes are not
+//     reentrant; recursive RLock can deadlock against a queued writer).
+//
+// Acquisition pairs (A held while B is acquired) accumulate into a
+// per-package lock graph; any edge on a cycle — the A→B / B→A
+// inconsistent-ordering deadlock — is reported at its acquisition site.
+//
+// Lock identity is (defining type, field name) for struct-owned
+// mutexes and the variable name for package-level or local ones, so
+// every instance of a type shares one graph node: the graph is about
+// code paths, not object instances.
+func NewLockorder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "flags blocking operations and callbacks under sync locks and inconsistent lock acquisition order",
+	}
+	a.Run = func(pass *Pass) error {
+		w := &lockWalker{
+			pass:  pass,
+			edges: map[lockEdge]token.Pos{},
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						w.walkBody(fn.Body)
+					}
+				case *ast.FuncLit:
+					// Function literals run on their own stack (go
+					// statements, deferred closures, stored callbacks):
+					// each is analyzed as its own function with an empty
+					// held set. walkBody does not descend into them.
+					w.walkBody(fn.Body)
+				}
+				return true
+			})
+		}
+		w.reportCycles()
+		return nil
+	}
+	return a
+}
+
+// lockKey names one lock node in the package graph.
+type lockKey string
+
+// lockEdge records "from held while to acquired".
+type lockEdge struct{ from, to lockKey }
+
+// heldLock is one currently held lock.
+type heldLock struct {
+	key lockKey
+	pos token.Pos
+}
+
+type lockWalker struct {
+	pass  *Pass
+	edges map[lockEdge]token.Pos
+}
+
+// walkBody analyzes one function body with an empty held set.
+func (w *lockWalker) walkBody(body *ast.BlockStmt) {
+	held := []heldLock{}
+	w.stmts(body.List, &held)
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held *[]heldLock) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+// branch analyzes a nested conditional region on a copy of the held
+// set: acquisitions and releases inside it are observed for edges and
+// blocking calls but do not alter the fall-through state. This is the
+// approximation that makes `if cond { mu.Unlock(); return }` sound: the
+// fall through still holds the lock, and the branch body is checked
+// with the unlock applied.
+func (w *lockWalker) branch(s ast.Stmt, held *[]heldLock) {
+	if s == nil {
+		return
+	}
+	cp := append([]heldLock(nil), *held...)
+	w.stmt(s, &cp)
+}
+
+func (w *lockWalker) branchStmts(list []ast.Stmt, held *[]heldLock) {
+	cp := append([]heldLock(nil), *held...)
+	w.stmts(list, &cp)
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held *[]heldLock) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if op, key, ok := w.mutexOp(call); ok {
+				w.applyMutexOp(op, key, call.Pos(), held)
+				return
+			}
+		}
+		w.checkExpr(st.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() — and defer func() { ...; mu.Unlock() }() —
+		// hold the lock to function exit: nothing to release now, and
+		// everything after this statement runs under the lock, which
+		// the held set already reflects.
+		if op, _, ok := w.mutexOp(st.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			_ = lit // analyzed separately with an empty held set
+			return
+		}
+	case *ast.GoStmt:
+		// Spawning is non-blocking; the goroutine body is analyzed as
+		// its own function. Arguments are evaluated here, though.
+		for _, arg := range st.Call.Args {
+			w.checkExpr(arg, held)
+		}
+	case *ast.SendStmt:
+		if len(*held) > 0 {
+			w.reportBlocked(st.Arrow, "channel send", held)
+		}
+		w.checkExpr(st.Value, held)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			w.checkExpr(rhs, held)
+		}
+		for _, lhs := range st.Lhs {
+			w.checkExpr(lhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.IfStmt:
+		w.stmt(st.Init, held)
+		w.checkExpr(st.Cond, held)
+		w.branch(st.Body, held)
+		w.branch(st.Else, held)
+	case *ast.ForStmt:
+		w.stmt(st.Init, held)
+		if st.Cond != nil {
+			w.checkExpr(st.Cond, held)
+		}
+		w.branch(st.Body, held)
+	case *ast.RangeStmt:
+		if t := w.pass.TypeOf(st.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan && len(*held) > 0 {
+				w.reportBlocked(st.Range, "channel-range receive", held)
+			}
+		}
+		w.checkExpr(st.X, held)
+		w.branch(st.Body, held)
+	case *ast.SelectStmt:
+		nonBlocking := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				nonBlocking = true
+			}
+		}
+		if !nonBlocking && len(*held) > 0 {
+			w.reportBlocked(st.Select, "blocking select", held)
+		}
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			// The comm op itself is covered by the select report (or is
+			// a non-blocking poll); the clause bodies still run under
+			// the lock.
+			w.branchStmts(cc.Body, held)
+		}
+	case *ast.SwitchStmt:
+		w.stmt(st.Init, held)
+		if st.Tag != nil {
+			w.checkExpr(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branchStmts(cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(st.Init, held)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branchStmts(cc.Body, held)
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(st.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.checkExpr(st.X, held)
+	}
+}
+
+// applyMutexOp updates the held set for one Lock/Unlock call.
+func (w *lockWalker) applyMutexOp(op string, key lockKey, pos token.Pos, held *[]heldLock) {
+	switch op {
+	case "Lock", "RLock":
+		for _, h := range *held {
+			if h.key == key {
+				w.pass.Reportf(pos,
+					"lock %s acquired while already held (acquired at %s): sync mutexes are not reentrant",
+					key, w.pass.Fset.Position(h.pos))
+				return
+			}
+			edge := lockEdge{from: h.key, to: key}
+			if _, seen := w.edges[edge]; !seen {
+				w.edges[edge] = pos
+			}
+		}
+		*held = append(*held, heldLock{key: key, pos: pos})
+	case "Unlock", "RUnlock":
+		for i, h := range *held {
+			if h.key == key {
+				*held = append((*held)[:i], (*held)[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// checkExpr scans an expression for blocking operations performed with
+// locks held. Function literal bodies are skipped (they run on their
+// own stack and are analyzed separately).
+func (w *lockWalker) checkExpr(e ast.Expr, held *[]heldLock) {
+	if e == nil || len(*held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.reportBlocked(x.OpPos, "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if op, _, ok := w.mutexOp(x); ok {
+				// Nested lock calls inside larger expressions are rare
+				// enough to ignore here; statement-level calls are
+				// handled by stmt.
+				_ = op
+				return true
+			}
+			w.checkCall(x, held)
+		}
+		return true
+	})
+}
+
+// netPkgs are the stdlib packages whose calls mean "waiting on a peer".
+var netPkgs = map[string]bool{
+	"net":           true,
+	"net/http":      true,
+	"net/textproto": true,
+	"net/rpc":       true,
+	"net/smtp":      true,
+	"crypto/tls":    true,
+}
+
+// checkCall classifies one call made while locks are held.
+func (w *lockWalker) checkCall(call *ast.CallExpr, held *[]heldLock) {
+	info := w.pass.Info
+	var obj types.Object
+	var sel *ast.SelectorExpr
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		sel = fun
+		obj = info.Uses[fun.Sel]
+	default:
+		return
+	}
+	if obj == nil {
+		return
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, _ := o.Type().(*types.Signature)
+		pkg := o.Pkg()
+		switch {
+		case pkg != nil && pkg.Path() == "time" && o.Name() == "Sleep":
+			w.reportBlocked(call.Pos(), "time.Sleep", held)
+		case sig != nil && sig.Recv() != nil && isSyncType(sig.Recv().Type(), "WaitGroup") && o.Name() == "Wait":
+			w.reportBlocked(call.Pos(), "sync.WaitGroup.Wait", held)
+		case sig != nil && sig.Recv() != nil && isSyncType(sig.Recv().Type(), "Cond"):
+			// sync.Cond.Wait releases its locker while parked — the
+			// condition-variable pattern is the one sanctioned way to
+			// block under a lock. Signal/Broadcast never block.
+		case pkg != nil && netPkgs[pkg.Path()]:
+			w.reportBlocked(call.Pos(), fmt.Sprintf("network call %s.%s", pkg.Name(), o.Name()), held)
+		case sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) && w.inModule(pkg):
+			w.reportBlocked(call.Pos(),
+				fmt.Sprintf("interface callback %s", callName(sel, o)), held)
+		}
+	case *types.Var:
+		// A call through a function-valued variable, parameter or
+		// struct field: the lock holder does not control what runs.
+		if _, isSig := o.Type().Underlying().(*types.Signature); isSig {
+			w.reportBlocked(call.Pos(),
+				fmt.Sprintf("function-valued callback %s", callName(sel, o)), held)
+		}
+	}
+}
+
+// inModule reports whether pkg belongs to the module under analysis:
+// same package, or an import path sharing the module's first segment.
+// Stdlib interface methods (error.Error, io.Writer.Write) stay exempt.
+func (w *lockWalker) inModule(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	if pkg == w.pass.Pkg {
+		return true
+	}
+	mod, _, _ := strings.Cut(w.pass.Path, "/")
+	first, _, _ := strings.Cut(pkg.Path(), "/")
+	return mod == first
+}
+
+func callName(sel *ast.SelectorExpr, obj types.Object) string {
+	if sel != nil {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + obj.Name()
+		}
+	}
+	return obj.Name()
+}
+
+func (w *lockWalker) reportBlocked(pos token.Pos, what string, held *[]heldLock) {
+	h := (*held)[len(*held)-1]
+	w.pass.Reportf(pos,
+		"%s while %s is held (acquired at %s): blocking under a lock stalls every other acquirer — move it outside the critical section",
+		what, h.key, w.pass.Fset.Position(h.pos))
+}
+
+// mutexOp recognizes mu.Lock / RLock / Unlock / RUnlock calls,
+// including through embedded mutexes, and returns the canonical lock
+// key.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (op string, key lockKey, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	// The method must come from sync.Mutex / sync.RWMutex — directly or
+	// via embedding.
+	fn, isFn := w.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	if !isSyncType(sig.Recv().Type(), "Mutex") && !isSyncType(sig.Recv().Type(), "RWMutex") {
+		return "", "", false
+	}
+	return op, w.lockKeyOf(sel.X), true
+}
+
+// lockKeyOf canonicalizes the expression the lock method was called on.
+// Struct-owned mutexes become "Type.field" (instance-independent);
+// package-level and local mutex variables keep their names.
+func (w *lockWalker) lockKeyOf(e ast.Expr) lockKey {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return lockKey(x.Name)
+	case *ast.SelectorExpr:
+		if t := w.pass.TypeOf(x.X); t != nil {
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed {
+				return lockKey(named.Obj().Name() + "." + x.Sel.Name)
+			}
+		}
+		return lockKey(x.Sel.Name)
+	case *ast.ParenExpr:
+		return w.lockKeyOf(x.X)
+	case *ast.StarExpr:
+		return w.lockKeyOf(x.X)
+	case *ast.IndexExpr:
+		return w.lockKeyOf(x.X)
+	}
+	return lockKey("lock")
+}
+
+// reportCycles flags every acquisition edge that lies on a cycle of the
+// package lock graph — the classic inconsistent-ordering deadlock.
+func (w *lockWalker) reportCycles() {
+	adj := map[lockKey][]lockKey{}
+	for e := range w.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reaches := func(from, to lockKey) bool {
+		seen := map[lockKey]bool{}
+		stack := []lockKey{from}
+		for len(stack) > 0 {
+			k := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if k == to {
+				return true
+			}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			stack = append(stack, adj[k]...)
+		}
+		return false
+	}
+	edges := make([]lockEdge, 0, len(w.edges))
+	for e := range w.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		if reaches(e.to, e.from) {
+			w.pass.Reportf(w.edges[e],
+				"inconsistent lock order: %s acquired while %s is held, but elsewhere in this package the order is reversed — pick one order (deadlock risk)",
+				e.to, e.from)
+		}
+	}
+}
+
+// isSyncType reports whether t (or what it points to) is sync.<name>.
+func isSyncType(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

@@ -59,6 +59,37 @@ func TestErrdropFixture(t *testing.T) {
 	analysistest.Run(t, fixture("errdrop"), "fixture/errdrop", analysis.NewErrdrop())
 }
 
+func TestLockorderFixture(t *testing.T) {
+	analysistest.Run(t, fixture("lockorder"), "fixture/lockorder", analysis.NewLockorder())
+}
+
+func TestUnitflowFixture(t *testing.T) {
+	a := analysis.NewUnitflow([]string{"fixture/unitflow"})
+	analysistest.Run(t, fixture("unitflow"), "fixture/unitflow", a)
+}
+
+func TestUnitflowScopeGate(t *testing.T) {
+	// Outside its scope list the analyzer is silent even on a fixture
+	// full of violations.
+	a := analysis.NewUnitflow([]string{"activegeo/internal/geo"})
+	diags := analysistest.Findings(t, fixture("unitflow"), "fixture/unscoped-unitflow", a)
+	if len(diags) != 0 {
+		t.Fatalf("unitflow fired outside its scope: %v", diags)
+	}
+}
+
+func TestGoroleakFixture(t *testing.T) {
+	analysistest.Run(t, fixture("goroleak"), "fixture/goroleak", analysis.NewGoroleak())
+}
+
+func TestGoroleakMainExempt(t *testing.T) {
+	// package main: process exit owns every goroutine.
+	diags := analysistest.Findings(t, fixture("goroleakmain"), "fixture/goroleakmain", analysis.NewGoroleak())
+	if len(diags) != 0 {
+		t.Fatalf("goroleak fired in package main: %v", diags)
+	}
+}
+
 // TestMalformedDirectives: a directive missing its reason or naming an
 // unknown analyzer is reported and suppresses nothing.
 func TestMalformedDirectives(t *testing.T) {
@@ -85,7 +116,8 @@ func TestMalformedDirectives(t *testing.T) {
 
 // TestSuiteNames pins the analyzer set the multichecker runs.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"detrand", "simclock", "maporder", "sharedrand", "floatexact", "errdrop"}
+	want := []string{"detrand", "simclock", "maporder", "sharedrand", "floatexact", "errdrop",
+		"lockorder", "unitflow", "goroleak"}
 	suite := analysis.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

@@ -34,6 +34,42 @@ func handled(c conn) error {
 	return c.Close()
 }
 
+// lifecycle: Drain / Sync / Shutdown / Flush are service-quiesce
+// methods whose errors mean "state was not persisted".
+type service struct{}
+
+func (service) Drain() error    { return nil }
+func (service) Sync() error     { return nil }
+func (service) Shutdown() error { return nil }
+func (service) Flush() error    { return nil }
+
+func lifecycleDrops(s service) {
+	s.Drain()    // want "Drain error silently dropped"
+	s.Sync()     // want "Sync error silently dropped"
+	s.Shutdown() // want "Shutdown error silently dropped"
+	s.Flush()    // want "Flush error silently dropped"
+}
+
+func lifecycleHandled(s service) error {
+	_ = s.Drain()
+	defer s.Shutdown()
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.Sync()
+}
+
+// tupleSync: a Sync returning (stats, error) — the stream Auditor
+// shape — is out of the analyzer's single-error scope and stays
+// silent.
+type statsSyncer struct{}
+
+func (statsSyncer) Sync() (int, error) { return 0, nil }
+
+func tupleSyncIgnored(s statsSyncer) {
+	s.Sync()
+}
+
 // voidCloser: Close methods that do not return an error are not drops.
 type voidCloser struct{}
 

@@ -1,0 +1,74 @@
+// Package goroleak holds goroleak analyzer fixtures: goroutines with
+// no visible owner at the launch site (flagged) against the three
+// ownership marks — WaitGroup join, context cancel, channel handoff.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	wg sync.WaitGroup
+}
+
+func leak() {}
+
+func unownedCall() {
+	go leak() // want "goroutine launched without an owner"
+}
+
+func unownedClosure(n int) {
+	go func() { // want "goroutine launched without an owner"
+		_ = n * 2
+	}()
+}
+
+// methodNoMark: ownership hidden inside the receiver does not count —
+// the mark must be visible at the go statement.
+func (w *worker) run() {}
+
+func methodNoMark(w *worker) {
+	go w.run() // want "goroutine launched without an owner"
+}
+
+// --- owned ----------------------------------------------------------
+
+// waitGroupOwned: the spawner can join.
+func waitGroupOwned(w *worker) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+	}()
+}
+
+// contextOwned: the context argument lets the spawner cancel.
+func contextOwned(ctx context.Context, f func(context.Context)) {
+	go f(ctx)
+}
+
+// channelOwned: the result channel is a handoff the spawner selects on.
+func channelOwned() chan int {
+	res := make(chan int, 1)
+	go func() {
+		res <- 42
+	}()
+	return res
+}
+
+// argChannelOwned: a channel passed as an argument marks ownership too.
+func produce(chan<- int) {}
+
+func argChannelOwned(results chan<- int) {
+	go produce(results)
+}
+
+// closureDoneChannel: closing a done channel from the body is a join
+// the spawner can wait on.
+func closureDoneChannel() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	return done
+}

@@ -1,0 +1,10 @@
+// Package main is the goroleak negative fixture: in a main package the
+// process exit is the goroutine's owner, so nothing here is flagged.
+package main
+
+func tick() {}
+
+func main() {
+	go tick()
+	go func() {}()
+}

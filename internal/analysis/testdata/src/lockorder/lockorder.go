@@ -1,0 +1,196 @@
+// Package lockorder holds lockorder analyzer fixtures: blocking
+// operations and callbacks under a held mutex, re-acquisition, and the
+// A→B / B→A inconsistent-ordering deadlock — plus the sanctioned
+// patterns (unlock-before-blocking, cond.Wait, select-with-default,
+// branch-local early unlock) that must stay silent.
+package lockorder
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Sink is a module interface: calls through it under a lock hand
+// control to code the lock holder does not own.
+type Sink interface {
+	Emit(v int)
+}
+
+type server struct {
+	mu     sync.Mutex
+	ackMu  sync.Mutex
+	cond   *sync.Cond
+	conn   net.Conn
+	ch     chan int
+	out    Sink
+	onDone func()
+	n      int
+}
+
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while server.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *server) sendUnderDeferredUnlock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want "channel send while server.mu is held"
+}
+
+func (s *server) recvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive while server.mu is held"
+}
+
+func (s *server) netUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn.Close() // want "network call net.Close while server.mu is held"
+}
+
+func (s *server) funcValueUnderLock() {
+	s.mu.Lock()
+	s.onDone() // want "function-valued callback s.onDone while server.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *server) interfaceUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.out.Emit(v) // want "interface callback Emit while server.mu is held"
+}
+
+func (s *server) reacquire() {
+	s.mu.Lock()
+	s.mu.Lock() // want "lock server.mu acquired while already held"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) rangeChanUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want "channel-range receive while server.mu is held"
+		s.n += v
+	}
+}
+
+func (s *server) blockingSelectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "blocking select while server.mu is held"
+	case v := <-s.ch:
+		s.n = v
+	}
+}
+
+// The two halves of an inconsistent-ordering deadlock: each edge lies
+// on the mu↔ackMu cycle and is reported at its acquisition site.
+func (s *server) abOrder() {
+	s.mu.Lock()
+	s.ackMu.Lock() // want "inconsistent lock order: server.ackMu acquired while server.mu is held"
+	s.ackMu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) baOrder() {
+	s.ackMu.Lock()
+	s.mu.Lock() // want "inconsistent lock order: server.mu acquired while server.ackMu is held"
+	s.mu.Unlock()
+	s.ackMu.Unlock()
+}
+
+// --- negative cases -------------------------------------------------
+
+// unlockThenBlock: release before blocking — the pattern every report
+// message asks for.
+func (s *server) unlockThenBlock(v int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- v
+	time.Sleep(time.Millisecond)
+}
+
+// condWait: sync.Cond.Wait releases its locker while parked, the one
+// sanctioned way to block under a lock (the drainGate pattern).
+func (s *server) condWait() {
+	s.mu.Lock()
+	for s.n == 0 {
+		s.cond.Wait()
+	}
+	s.n--
+	s.mu.Unlock()
+}
+
+// pollUnderLock: a select with a default clause is a non-blocking poll.
+func (s *server) pollUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.n = v
+	default:
+	}
+}
+
+// earlyUnlock: the branch releases and returns; the receive there runs
+// without the lock, and the fall through still holds it.
+func (s *server) earlyUnlock(fast bool) int {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		return <-s.ch
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// spawnUnderLock: launching is non-blocking and the goroutine body runs
+// on its own stack with an empty held set.
+func (s *server) spawnUnderLock(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+		close(done)
+	}()
+}
+
+// localMutex: plain critical section around local state.
+func localMutex() int {
+	var mu sync.Mutex
+	n := 0
+	mu.Lock()
+	n++
+	mu.Unlock()
+	return n
+}
+
+// consistentOrder: ackMu inside pairMu everywhere — edges but no cycle.
+type pair struct {
+	pairMu  sync.Mutex
+	innerMu sync.Mutex
+	n       int
+}
+
+func (p *pair) first() {
+	p.pairMu.Lock()
+	p.innerMu.Lock()
+	p.n++
+	p.innerMu.Unlock()
+	p.pairMu.Unlock()
+}
+
+func (p *pair) second() {
+	p.pairMu.Lock()
+	p.innerMu.Lock()
+	p.n--
+	p.innerMu.Unlock()
+	p.pairMu.Unlock()
+}

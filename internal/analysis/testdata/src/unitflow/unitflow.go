@@ -1,0 +1,106 @@
+// Package unitflow holds unitflow analyzer fixtures: the paper's
+// delay→distance conversion chain done right (silent) and every way of
+// doing it wrong (flagged) — mixing km with ms, assigning or returning
+// across unit suffixes, passing the wrong unit to a named parameter,
+// and trigonometry on degrees.
+package unitflow
+
+import "math"
+
+const earthRadiusKm = 6371.0
+const degToRad = math.Pi / 180
+
+// kmPerDeg is a ratio constant: dividing km by it yields degrees.
+const kmPerDeg = 111.195
+
+// --- flagged --------------------------------------------------------
+
+func mixAdd(distKm, delayMs float64) float64 {
+	return distKm + delayMs // want "mixing km and ms"
+}
+
+func mixCompare(distKm, delayMs float64) bool {
+	return distKm < delayMs // want "mixing km and ms"
+}
+
+func forgottenConversion(oneWayMs float64) float64 {
+	boundKm := oneWayMs // want "assigning ms value to .boundKm."
+	return boundKm
+}
+
+// wrongBoundKm: the unit flows through the local and disagrees with
+// the result suffix at the return.
+func wrongBoundKm(oneWayMs float64) float64 {
+	x := oneWayMs
+	return x // want "returning ms value from wrongBoundKm"
+}
+
+func clampKm(maxKm float64) float64 { return maxKm }
+
+func wrongParam(delayMs float64) float64 {
+	return clampKm(delayMs) // want "passing ms value as parameter .maxKm."
+}
+
+func trigOnDegrees(latDeg float64) float64 {
+	return math.Sin(latDeg) // want "math.Sin of a value in degrees"
+}
+
+type result struct {
+	RadiusKm float64
+}
+
+func fieldStore(delayMs float64) result {
+	var r result
+	r.RadiusKm = delayMs // want "assigning ms value to field .RadiusKm."
+	return r
+}
+
+func compositeField(delayMs float64) result {
+	return result{RadiusKm: delayMs} // want "assigning ms value to field .RadiusKm."
+}
+
+// --- silent ---------------------------------------------------------
+
+// maxDistanceKm: the canonical correct conversion — ms · km/ms = km.
+func maxDistanceKm(oneWayMs, speedKmPerMs float64) float64 {
+	return oneWayMs * speedKmPerMs
+}
+
+// latSpanDeg: division by a ratio constant converts — km / (km/deg) = deg.
+func latSpanDeg(radiusKm float64) float64 {
+	return radiusKm / kmPerDeg
+}
+
+// goodTrig: degrees converted to radians before the sine.
+func goodTrig(latDeg float64) float64 {
+	return math.Sin(latDeg * degToRad)
+}
+
+// distanceKm: the haversine shape — radians are dimensionless in
+// products, so 2·R·asin(√h) type-checks as km.
+func distanceKm(lat1Deg, lon1Deg, lat2Deg, lon2Deg float64) float64 {
+	la1 := lat1Deg * degToRad
+	la2 := lat2Deg * degToRad
+	dLon := (lon2Deg - lon1Deg) * degToRad
+	s := math.Sin((la2 - la1) / 2)
+	t := math.Sin(dLon / 2)
+	h := s*s + math.Cos(la1)*math.Cos(la2)*t*t
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// literalThreshold: bare literals are unit-polymorphic; comparing or
+// scaling by them never flags.
+func literalThreshold(distKm float64) bool {
+	return distKm > 0 && 1.5*distKm < 2000
+}
+
+// sqrtOfArea: even exponents halve through math.Sqrt — km² → km.
+func sqrtOfArea(areaKm2 float64) float64 {
+	sideKm := math.Sqrt(areaKm2)
+	return sideKm
+}
+
+// untracked: values without a known unit never flag.
+func untracked(a, b float64) float64 {
+	return a + b
+}

@@ -1,0 +1,731 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// DefaultUnitFlowScope lists the packages whose float64 values carry
+// physical dimensions — the geometry kernel, the delay models and the
+// measurement pipeline. mathx is deliberately excluded: its fits are
+// generic (x, y) arithmetic and the dimensions live at the call sites.
+var DefaultUnitFlowScope = []string{
+	"activegeo/internal/geo",
+	"activegeo/internal/grid",
+	"activegeo/internal/geoloc",
+	"activegeo/internal/spotter",
+	"activegeo/internal/cbg",
+	"activegeo/internal/cbgpp",
+	"activegeo/internal/octant",
+	"activegeo/internal/hybrid",
+	"activegeo/internal/worldmap",
+	"activegeo/internal/netsim",
+	"activegeo/internal/measure",
+	"activegeo/internal/atlas",
+	"activegeo/internal/atlasd",
+	"activegeo/internal/stream",
+	"activegeo/internal/assess",
+	"activegeo/internal/iclab",
+	"activegeo/internal/crowd",
+}
+
+// NewUnitflow builds the unitflow analyzer: a flow-sensitive dimension
+// taint over float64 values. Identifier suffixes declare units —
+// DistanceKm, oneWayMs, bearingDeg, latRad, speedKmPerMs — and the geo
+// conversion constants (degToRad, radToDeg) carry their dimension
+// ratios, so units propagate through multiplication and division the
+// way physical dimensions do (ms · km/ms = km). The pass flags
+//
+//   - additive arithmetic or comparison mixing two different known
+//     units (adding milliseconds to kilometres);
+//   - assigning a value of one known unit to an identifier whose name
+//     declares another (boundKm := oneWayMs — the paper's
+//     delay→distance conversion forgotten);
+//   - passing a known-unit value to a parameter whose name declares a
+//     different unit (geo.MaxDistanceKm(distKm, …) where the first
+//     parameter is oneWayMs);
+//   - returning a known-unit value from a function whose name declares
+//     a different result unit;
+//   - trigonometry on degrees (math.Sin(latDeg) without degToRad).
+//
+// Radians are dimensionless in products (2·EarthRadiusKm·asin(√h) is
+// km), so unit compatibility is checked modulo rad; degrees are a real
+// dimension everywhere — deg/rad confusion is exactly the class of bug
+// the pass exists for. Values without a known unit never flag: the
+// pass is deliberately silent where names carry no dimension.
+func NewUnitflow(scope []string) *Analyzer {
+	a := &Analyzer{
+		Name: "unitflow",
+		Doc:  "flags cross-unit float arithmetic (km/ms/deg/rad) without an explicit conversion",
+	}
+	a.Run = func(pass *Pass) error {
+		if !inScope(pass.Path, scope) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				fn, ok := n.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					return true
+				}
+				u := &unitFlow{pass: pass, vars: map[types.Object]unit{}, fn: fn}
+				u.seedParams()
+				u.stmts(fn.Body.List)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// unit is a dimension vector (exponents per dimension); nil means
+// unknown, the empty map means known-dimensionless.
+type unit map[string]int
+
+func (u unit) known() bool { return u != nil }
+
+// stripRad drops the rad dimension: radians are dimensionless in
+// products.
+func (u unit) stripRad() unit {
+	if u == nil {
+		return nil
+	}
+	out := unit{}
+	for d, e := range u {
+		if d != "rad" && e != 0 {
+			out[d] = e
+		}
+	}
+	return out
+}
+
+// compatible reports whether two known units agree modulo rad.
+// Dimensionless values are compatible with everything: literals and
+// pure ratios are unit-polymorphic (distKm <= 0, 1.5*delayMs), so only
+// two DIFFERENT concrete dimensions ever flag.
+func compatible(a, b unit) bool {
+	as, bs := a.stripRad(), b.stripRad()
+	if len(as) == 0 || len(bs) == 0 {
+		return true
+	}
+	if len(as) != len(bs) {
+		return false
+	}
+	for d, e := range as {
+		if bs[d] != e {
+			return false
+		}
+	}
+	return true
+}
+
+func (u unit) String() string {
+	if u == nil {
+		return "?"
+	}
+	dims := make([]string, 0, len(u))
+	for d, e := range u {
+		if e != 0 {
+			dims = append(dims, d)
+		}
+	}
+	if len(dims) == 0 {
+		return "dimensionless"
+	}
+	sort.Strings(dims)
+	var num, den []string
+	for _, d := range dims {
+		e := u[d]
+		part := d
+		if e == 2 || e == -2 {
+			part = d + "^2"
+		} else if e > 2 || e < -2 {
+			part = fmt.Sprintf("%s^%d", d, abs(e))
+		}
+		if e > 0 {
+			num = append(num, part)
+		} else {
+			den = append(den, part)
+		}
+	}
+	s := strings.Join(num, "·")
+	if s == "" {
+		s = "1"
+	}
+	if len(den) > 0 {
+		s += "/" + strings.Join(den, "·")
+	}
+	return s
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func mulUnits(a, b unit, sign int) unit {
+	if a == nil || b == nil {
+		return nil
+	}
+	out := unit{}
+	for d, e := range a {
+		out[d] += e
+	}
+	for d, e := range b {
+		out[d] += sign * e
+	}
+	for d, e := range out {
+		if e == 0 {
+			delete(out, d)
+		}
+	}
+	return out
+}
+
+// convRe matches conversion-constant names like degToRad, msToKm.
+var convRe = regexp.MustCompile(`^(deg|rad|km|ms)To(Deg|Rad|Km|Ms)$`)
+
+// unitSuffixes, longest first so KmPerMs wins over Km. The base
+// suffixes are crossed into every XPerY ratio (kmPerDeg, msPerKm, …)
+// at init.
+var unitSuffixes = buildSuffixes()
+
+type suffixEntry struct {
+	suffix string
+	u      unit
+}
+
+func buildSuffixes() []suffixEntry {
+	base := []suffixEntry{
+		{"Km2", unit{"km": 2}},
+		{"Km", unit{"km": 1}},
+		{"Ms", unit{"ms": 1}},
+		{"Deg", unit{"deg": 1}},
+		{"Rad", unit{"rad": 1}},
+	}
+	var out []suffixEntry
+	for _, num := range base {
+		for _, den := range base {
+			if num.suffix == den.suffix {
+				continue
+			}
+			u := unit{}
+			for d, e := range num.u {
+				u[d] += e
+			}
+			for d, e := range den.u {
+				u[d] -= e
+			}
+			out = append(out, suffixEntry{num.suffix + "Per" + den.suffix, u})
+		}
+	}
+	out = append(out, base...)
+	sort.Slice(out, func(i, j int) bool { return len(out[i].suffix) > len(out[j].suffix) })
+	return out
+}
+
+// wholeNames are identifiers that are a unit by themselves.
+var wholeNames = map[string]unit{
+	"km": {"km": 1}, "ms": {"ms": 1}, "deg": {"deg": 1}, "rad": {"rad": 1},
+}
+
+// latLonNames declare degrees — but only at declaration sites that are
+// API surface (struct fields, parameters): a local named lat1 is very
+// often the radian-converted copy.
+var latLonNames = map[string]bool{"lat": true, "lon": true, "lng": true}
+
+// resultExceptions maps function names whose unit-looking suffix does
+// NOT describe the result: CosForKm returns a cosine threshold (the
+// parameter is the km value).
+var resultExceptions = map[string]unit{}
+
+// unitFromName infers the unit an identifier's name declares. Trailing
+// digits are stripped (lat1, dist2). allowLatLon extends the inference
+// to Lat/Lon (degrees) for fields and parameters.
+func unitFromName(name string, allowLatLon bool) unit {
+	name = strings.TrimRight(name, "0123456789_")
+	if name == "" {
+		return nil
+	}
+	if m := convRe.FindStringSubmatch(name); m != nil {
+		from := strings.ToLower(m[1])
+		to := strings.ToLower(m[2])
+		if from == to {
+			return nil
+		}
+		return unit{to: 1, from: -1}
+	}
+	if u, ok := wholeNames[name]; ok {
+		cp := unit{}
+		for d, e := range u {
+			cp[d] = e
+		}
+		return cp
+	}
+	if allowLatLon {
+		lower := strings.ToLower(name)
+		if latLonNames[lower] {
+			return unit{"deg": 1}
+		}
+		if len(name) > 3 {
+			tail := name[len(name)-3:]
+			if (tail == "Lat" || tail == "Lon" || tail == "Lng") && !strings.HasSuffix(name, "ForKm") {
+				return unit{"deg": 1}
+			}
+		}
+	}
+	// Functions like CosForKm take a km parameter but return something
+	// else; the "ForX" tail is parameter documentation, not a result
+	// unit.
+	if idx := strings.LastIndex(name, "For"); idx > 0 {
+		if _, ok := suffixUnit(name[idx+3:]); ok {
+			return nil
+		}
+	}
+	if u, ok := suffixUnit(name); ok {
+		return u
+	}
+	return nil
+}
+
+// suffixUnit matches a camelCase unit suffix (oneWayMs, speedKmPerMs)
+// or a whole name that IS a unit expression with a lowercase first
+// letter (kmPerDeg, msPerKm).
+func suffixUnit(name string) (unit, bool) {
+	for _, s := range unitSuffixes {
+		whole := len(name) == len(s.suffix) &&
+			strings.EqualFold(name[:1], s.suffix[:1]) &&
+			name[1:] == s.suffix[1:]
+		if !whole && !strings.HasSuffix(name, s.suffix) {
+			continue
+		}
+		cp := unit{}
+		for d, e := range s.u {
+			cp[d] = e
+		}
+		return cp, true
+	}
+	return nil, false
+}
+
+// unitFlow tracks units through one function body.
+type unitFlow struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+	vars map[types.Object]unit
+}
+
+// seedParams assigns declared units to the function's parameters.
+func (u *unitFlow) seedParams() {
+	if u.fn.Type.Params == nil {
+		return
+	}
+	for _, field := range u.fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := u.pass.Info.Defs[name]
+			if obj == nil || !isFloat(obj.Type()) {
+				continue
+			}
+			if un := unitFromName(name.Name, true); un != nil {
+				u.vars[obj] = un
+			}
+		}
+	}
+}
+
+func (u *unitFlow) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		u.stmt(s)
+	}
+}
+
+func (u *unitFlow) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		u.unitOf(st.X)
+	case *ast.AssignStmt:
+		u.assign(st)
+	case *ast.ReturnStmt:
+		u.ret(st)
+	case *ast.IfStmt:
+		u.stmt(st.Init)
+		u.unitOf(st.Cond)
+		u.stmt(st.Body)
+		u.stmt(st.Else)
+	case *ast.ForStmt:
+		u.stmt(st.Init)
+		if st.Cond != nil {
+			u.unitOf(st.Cond)
+		}
+		u.stmt(st.Post)
+		u.stmt(st.Body)
+	case *ast.RangeStmt:
+		u.unitOf(st.X)
+		u.stmt(st.Body)
+	case *ast.BlockStmt:
+		u.stmts(st.List)
+	case *ast.SwitchStmt:
+		u.stmt(st.Init)
+		if st.Tag != nil {
+			u.unitOf(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					u.unitOf(e)
+				}
+				u.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		u.stmt(st.Init)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				u.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				u.stmt(cc.Comm)
+				u.stmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		u.stmt(st.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						u.bind(name, u.unitOf(vs.Values[i]), vs.Values[i].Pos())
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		u.unitOf(st.Call)
+	case *ast.DeferStmt:
+		u.unitOf(st.Call)
+	case *ast.SendStmt:
+		u.unitOf(st.Value)
+	case *ast.IncDecStmt:
+		u.unitOf(st.X)
+	}
+}
+
+// assign checks and propagates units across one assignment.
+func (u *unitFlow) assign(st *ast.AssignStmt) {
+	if len(st.Lhs) != len(st.Rhs) {
+		// Tuple assignment from a call: evaluate for side checks only.
+		for _, r := range st.Rhs {
+			u.unitOf(r)
+		}
+		return
+	}
+	for i, lhs := range st.Lhs {
+		rhs := st.Rhs[i]
+		ru := u.unitOf(rhs)
+		switch op := st.Tok; op {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			lu := u.unitOf(lhs)
+			if lu.known() && ru.known() && !compatible(lu, ru) {
+				u.pass.Reportf(st.TokPos,
+					"mixing %s and %s with %s: convert explicitly before combining units", lu, ru, op)
+			}
+			continue
+		case token.MUL_ASSIGN, token.QUO_ASSIGN:
+			continue // lhs unit legitimately changes; give up tracking
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			u.bind(id, ru, rhs.Pos())
+			continue
+		}
+		if sel, ok := lhs.(*ast.SelectorExpr); ok {
+			if du := unitFromName(sel.Sel.Name, true); du != nil && ru.known() && isFloat(u.pass.TypeOf(lhs)) && !compatible(du, ru) {
+				u.pass.Reportf(rhs.Pos(),
+					"assigning %s value to field %q (%s by its name): missing unit conversion", ru, sel.Sel.Name, du)
+			}
+		}
+	}
+}
+
+// bind records a variable's flow unit, checking it against the unit the
+// name itself declares.
+func (u *unitFlow) bind(id *ast.Ident, ru unit, pos token.Pos) {
+	if id.Name == "_" {
+		return
+	}
+	obj := u.pass.Info.Defs[id]
+	if obj == nil {
+		obj = u.pass.Info.Uses[id]
+	}
+	if obj == nil || !isFloat(obj.Type()) {
+		return
+	}
+	declared := unitFromName(id.Name, false)
+	if declared != nil && ru.known() && !compatible(declared, ru) {
+		u.pass.Reportf(pos,
+			"assigning %s value to %q (%s by its name suffix): missing unit conversion", ru, id.Name, declared)
+	}
+	switch {
+	case ru.known():
+		u.vars[obj] = ru
+	case declared != nil:
+		u.vars[obj] = declared
+	default:
+		delete(u.vars, obj)
+	}
+}
+
+// ret checks a return value against the function name's declared unit.
+func (u *unitFlow) ret(st *ast.ReturnStmt) {
+	for _, e := range st.Results {
+		u.unitOf(e)
+	}
+	if len(st.Results) != 1 || u.fn.Type.Results == nil || u.fn.Type.Results.NumFields() != 1 {
+		return
+	}
+	if !isFloat(u.pass.TypeOf(st.Results[0])) {
+		return
+	}
+	declared := u.funcResultUnit(u.fn.Name.Name)
+	if declared == nil {
+		return
+	}
+	got := u.unitOf(st.Results[0])
+	if got.known() && !compatible(declared, got) {
+		u.pass.Reportf(st.Results[0].Pos(),
+			"returning %s value from %s (result is %s by its name suffix): missing unit conversion",
+			got, u.fn.Name.Name, declared)
+	}
+}
+
+func (u *unitFlow) funcResultUnit(name string) unit {
+	if ex, ok := resultExceptions[name]; ok {
+		return ex
+	}
+	return unitFromName(name, false)
+}
+
+// mathFns classifies math.* calls for unit purposes.
+var trigArgRad = map[string]bool{"Sin": true, "Cos": true, "Tan": true}
+var trigResultRad = map[string]bool{"Asin": true, "Acos": true, "Atan": true, "Atan2": true}
+
+// unitOf computes the unit of an expression, reporting mixed-unit
+// arithmetic as it goes. Each expression node is visited exactly once
+// per statement walk, so diagnostics do not duplicate.
+func (u *unitFlow) unitOf(e ast.Expr) unit {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ast.ParenExpr:
+		return u.unitOf(x.X)
+	case *ast.Ident:
+		obj := u.pass.Info.Uses[x]
+		if obj == nil {
+			obj = u.pass.Info.Defs[x]
+		}
+		if obj == nil {
+			return nil
+		}
+		if un, ok := u.vars[obj]; ok {
+			return un
+		}
+		if !isFloat(obj.Type()) {
+			return nil
+		}
+		switch obj.(type) {
+		case *types.Const, *types.Var:
+			return unitFromName(obj.Name(), false)
+		}
+		return nil
+	case *ast.SelectorExpr:
+		// Evaluate the base for side checks (method calls in chains are
+		// CallExprs and arrive separately).
+		if t := u.pass.TypeOf(e); t != nil && isFloat(t) {
+			if un := unitFromName(x.Sel.Name, true); un != nil {
+				return un
+			}
+		}
+		return nil
+	case *ast.BasicLit:
+		return unit{}
+	case *ast.UnaryExpr:
+		return u.unitOf(x.X)
+	case *ast.BinaryExpr:
+		return u.binary(x)
+	case *ast.CallExpr:
+		return u.call(x)
+	case *ast.IndexExpr:
+		u.unitOf(x.Index)
+		return nil
+	case *ast.TypeAssertExpr:
+		return nil
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				vu := u.unitOf(kv.Value)
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if du := unitFromName(key.Name, true); du != nil && vu.known() &&
+						isFloat(u.pass.TypeOf(kv.Value)) && !compatible(du, vu) {
+						u.pass.Reportf(kv.Value.Pos(),
+							"assigning %s value to field %q (%s by its name): missing unit conversion",
+							vu, key.Name, du)
+					}
+				}
+			} else {
+				u.unitOf(el)
+			}
+		}
+		return nil
+	case *ast.FuncLit:
+		// A nested function gets its own (conservative, unseeded) walk.
+		inner := &unitFlow{pass: u.pass, vars: map[types.Object]unit{}, fn: u.fn}
+		inner.stmts(x.Body.List)
+		return nil
+	}
+	return nil
+}
+
+func (u *unitFlow) binary(x *ast.BinaryExpr) unit {
+	lu := u.unitOf(x.X)
+	ru := u.unitOf(x.Y)
+	switch x.Op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		if !isFloat(u.pass.TypeOf(x.X)) && !isFloat(u.pass.TypeOf(x.Y)) {
+			return nil
+		}
+		if lu.known() && ru.known() && !compatible(lu, ru) {
+			u.pass.Reportf(x.OpPos,
+				"mixing %s and %s with %s: convert explicitly before combining units", lu, ru, x.Op)
+		}
+		switch x.Op {
+		case token.ADD, token.SUB:
+			if lu.known() && len(lu.stripRad()) > 0 {
+				return lu
+			}
+			return ru
+		}
+		return nil
+	case token.MUL:
+		return mulUnits(lu, ru, 1)
+	case token.QUO:
+		return mulUnits(lu, ru, -1)
+	}
+	return nil
+}
+
+func (u *unitFlow) call(x *ast.CallExpr) unit {
+	// Conversions: float64(v) keeps v's unit.
+	if t := u.pass.Info.Types[x.Fun]; t.IsType() {
+		if len(x.Args) == 1 {
+			return u.unitOf(x.Args[0])
+		}
+		return nil
+	}
+	var name string
+	var obj types.Object
+	switch fun := x.Fun.(type) {
+	case *ast.Ident:
+		obj = u.pass.Info.Uses[fun]
+		name = fun.Name
+	case *ast.SelectorExpr:
+		obj = u.pass.Info.Uses[fun.Sel]
+		name = fun.Sel.Name
+	}
+	fn, _ := obj.(*types.Func)
+
+	// math.* special cases: trig wants radians, inverse trig returns
+	// them, Sqrt halves even exponents (km² → km), Abs/Min/Max behave
+	// additively.
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" {
+		argUnits := make([]unit, len(x.Args))
+		for i, a := range x.Args {
+			argUnits[i] = u.unitOf(a)
+		}
+		switch {
+		case trigArgRad[name]:
+			if len(argUnits) == 1 && argUnits[0].known() && argUnits[0]["deg"] != 0 {
+				u.pass.Reportf(x.Args[0].Pos(),
+					"math.%s of a value in degrees: convert with degToRad first", name)
+			}
+			return unit{}
+		case trigResultRad[name]:
+			return unit{"rad": 1}
+		case name == "Sqrt" && len(argUnits) == 1 && argUnits[0].known():
+			out := unit{}
+			for d, e := range argUnits[0] {
+				if e%2 != 0 {
+					return nil
+				}
+				out[d] = e / 2
+			}
+			return out
+		case name == "Abs" && len(argUnits) == 1:
+			return argUnits[0]
+		case (name == "Min" || name == "Max") && len(argUnits) == 2:
+			if argUnits[0].known() && argUnits[1].known() && !compatible(argUnits[0], argUnits[1]) {
+				u.pass.Reportf(x.Args[1].Pos(),
+					"mixing %s and %s in math.%s: convert explicitly before combining units",
+					argUnits[0], argUnits[1], name)
+			}
+			if argUnits[0].known() {
+				return argUnits[0]
+			}
+			return argUnits[1]
+		case name == "Pow" || name == "Hypot" || name == "Mod":
+			return nil
+		}
+		return nil
+	}
+
+	// Ordinary calls: check each known-unit argument against the unit
+	// the parameter name declares, then derive the result unit from the
+	// callee's name.
+	var sig *types.Signature
+	if fn != nil {
+		sig, _ = fn.Type().(*types.Signature)
+	}
+	for i, a := range x.Args {
+		au := u.unitOf(a)
+		if sig == nil || !au.known() || len(au.stripRad()) == 0 {
+			continue
+		}
+		if i >= sig.Params().Len() {
+			break // variadic tail
+		}
+		p := sig.Params().At(i)
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			break
+		}
+		if !isFloat(p.Type()) {
+			continue
+		}
+		if pu := unitFromName(p.Name(), true); pu != nil && !compatible(pu, au) {
+			u.pass.Reportf(a.Pos(),
+				"passing %s value as parameter %q (%s) of %s: missing unit conversion",
+				au, p.Name(), pu, name)
+		}
+	}
+	if fn == nil {
+		return nil
+	}
+	if sig != nil && sig.Results().Len() == 1 && isFloat(sig.Results().At(0).Type()) {
+		return u.funcResultUnit(name)
+	}
+	return nil
+}

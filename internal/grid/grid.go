@@ -17,6 +17,11 @@ import (
 	"activegeo/internal/geo"
 )
 
+// kmPerDeg is the meridian arc length of one degree of latitude: the
+// conversion factor between a north–south distance and the latitude
+// span it covers.
+const kmPerDeg = 111.195
+
 // Grid is an immutable equal-area discretization of the sphere. Build one
 // with New and share it; Regions are only comparable within one Grid.
 //
@@ -513,7 +518,7 @@ func (r *Region) addCap(c geo.Cap, contains func(i int) bool) {
 	if c.RadiusKm <= 0 {
 		return
 	}
-	latHalf := c.RadiusKm / 111.195 // degrees of latitude per km
+	latHalf := c.RadiusKm / kmPerDeg
 	bLo := int((c.Center.Lat - latHalf + 90) / g.resDeg)
 	bHi := int((c.Center.Lat + latHalf + 90) / g.resDeg)
 	if bLo < 0 {

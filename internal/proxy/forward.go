@@ -31,6 +31,8 @@ type Forwarder struct {
 	mu     sync.Mutex
 	closed bool
 	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
 }
 
 func (f *Forwarder) dialTimeout() time.Duration {
@@ -56,22 +58,60 @@ func (f *Forwarder) Serve(ln net.Listener) error {
 		if err != nil {
 			return err
 		}
-		go f.handle(conn)
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			_ = conn.Close() // racing shutdown; the accept error is authoritative
+			return net.ErrClosed
+		}
+		if f.conns == nil {
+			f.conns = map[net.Conn]struct{}{}
+		}
+		f.conns[conn] = struct{}{}
+		f.wg.Add(1)
+		f.mu.Unlock()
+		go func() {
+			defer f.wg.Done()
+			f.handle(conn)
+		}()
 	}
 }
 
-// Close stops the forwarder's listener.
+// Close stops the forwarder: it closes the listener and every live
+// proxied connection, then waits for the handler goroutines to drain.
+// The listener and connections are snapshotted under the lock but
+// closed outside it, so a slow network teardown never stalls Serve's
+// accept-loop bookkeeping.
 func (f *Forwarder) Close() error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.closed = true
-	if f.ln != nil {
-		return f.ln.Close()
+	ln := f.ln
+	conns := make([]net.Conn, 0, len(f.conns))
+	for c := range f.conns {
+		//lint:allow maporder teardown closes every conn; order is irrelevant
+		conns = append(conns, c)
 	}
-	return nil
+	f.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close() // unblocks the handler; its own deferred Close reports
+	}
+	f.wg.Wait()
+	return err
+}
+
+// forget drops a finished connection from the live set.
+func (f *Forwarder) forget(c net.Conn) {
+	f.mu.Lock()
+	delete(f.conns, c)
+	f.mu.Unlock()
 }
 
 func (f *Forwarder) handle(client net.Conn) {
+	defer f.forget(client)
 	defer client.Close()
 	_ = client.SetReadDeadline(time.Now().Add(f.dialTimeout()))
 	line, err := bufio.NewReader(client).ReadString('\n')
