@@ -1,6 +1,9 @@
 # Build, test and benchmark targets for the activegeo repo.
 #
-#   make ci            vet + lint + build + unit tests + bench compile + gofmt + race smoke
+#   make ci            full gate: ci-fast then ci-deep (what a green main means)
+#   make ci-fast       the PR fast lane: vet + lint + build + unit tests + gofmt
+#   make ci-deep       the deep lane: bench compile + race smoke + soak + cover
+#                      + fuzz smoke + the cross-shard determinism proof
 #   make ci-local      alias for `make ci` — the exact gate .github/workflows/ci.yml runs
 #   make lint          geolint static-analysis suite over the whole tree (DESIGN.md §9)
 #   make lint-json     same suite, machine-readable geolint.json (the CI artifact)
@@ -9,6 +12,7 @@
 #   make race          full test suite under the race detector
 #   make race-smoke    quick audit pipeline only, under the race detector
 #   make soak          32-client atlasd soak (determinism + graceful drain) under -race
+#   make soak-constellation  CHAOS_MINUTES of shard kill/restart churn under -race
 #   make fuzz-smoke    30s/target fuzz pass over the atlasd wire surface
 #   make cover         per-package coverage with an 85% floor on the service packages
 #   make bench-audit   serial-vs-parallel audit timing -> BENCH_audit.json
@@ -16,12 +20,13 @@
 #   make bench-faults  robustness sweep: tallies vs injected loss -> BENCH_faults.json
 #   make bench-atlasd  32-client coordination-service load test -> BENCH_atlasd.json
 #   make bench-stream  streaming-audit parity + 100k bounded-memory run -> BENCH_stream.json
+#   make bench-constellation  sharded-fleet determinism proof -> BENCH_constellation.json
 
 GO ?= go
 FUZZTIME ?= 30s
 COVER_FLOOR ?= 85.0
 
-.PHONY: all vet lint lint-json lint-fix-check vuln build test race race-smoke soak fuzz-smoke cover ci ci-local benchcompile fmtcheck bench-audit bench-locate bench-faults bench-atlasd bench-stream clean
+.PHONY: all vet lint lint-json lint-fix-check vuln build test race race-smoke soak soak-constellation fuzz-smoke cover ci ci-fast ci-deep ci-local benchcompile fmtcheck bench-audit bench-locate bench-faults bench-atlasd bench-stream bench-constellation clean
 
 all: ci
 
@@ -86,6 +91,18 @@ race-smoke:
 soak:
 	$(GO) test -race -count=1 -run '^TestSoak' ./internal/loadgen
 
+# Constellation chaos soak (DESIGN.md §13): CHAOS_MINUTES of load
+# through a 3-shard fleet while one shard per minute is killed and
+# restarted and the epoch is advanced, under the race detector. Every
+# round's merged transcripts must match a fresh single-shard serial
+# oracle and the merged ledger must hold every accepted report exactly
+# once. Nightly runs the full 15 minutes; with CHAOS_MINUTES=0 the same
+# protocol runs two sub-second rounds (the in-repo default for quick
+# local checks).
+CHAOS_MINUTES ?= 15
+soak-constellation:
+	ACTIVEGEO_CHAOS_MINUTES=$(CHAOS_MINUTES) $(GO) test -race -count=1 -timeout 45m -run '^TestChaosSoak$$' -v ./internal/constellation
+
 # Native fuzzing over the atlasd wire surface: query parsing, model
 # path handling and report decoding, FUZZTIME per target. The seeded
 # malformed corpus also runs (for free) in every plain `go test`.
@@ -121,7 +138,15 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-ci: vet lint lint-fix-check build test benchcompile fmtcheck race-smoke soak cover fuzz-smoke
+# The tiered gate (ci.yml mirrors this split): ci-fast is the PR lane —
+# everything a reviewer needs inside a few minutes; ci-deep is the
+# race/soak/coverage/fuzz battery plus the cross-shard determinism
+# proof, which CI runs as a second job gated on the fast lane.
+ci-fast: vet lint lint-fix-check build test fmtcheck
+
+ci-deep: benchcompile race-smoke soak cover fuzz-smoke bench-constellation
+
+ci: ci-fast ci-deep
 
 # The same gate, under the name the README documents for pre-push runs:
 # what passes `make ci-local` passes the ci.yml workflow, nothing more.
@@ -165,7 +190,15 @@ STREAM_SERVERS ?= 100000
 bench-stream:
 	$(GO) run ./cmd/benchaudit -mode stream -servers $(STREAM_SERVERS) -out BENCH_stream.json
 
+# Cross-shard determinism proof (DESIGN.md §13): 1200 clients across a
+# 4-shard epoch-coordinated constellation — ring routing, failover,
+# hedged phase-2 queries, a mid-run shard drain and an epoch barrier —
+# aborting non-zero unless every merged transcript is byte-identical to
+# the single-shard serial oracle and the exactly-once ledger holds.
+bench-constellation:
+	$(GO) run ./cmd/benchaudit -mode constellation -out BENCH_constellation.json
+
 clean:
-	rm -f BENCH_audit.json BENCH_locate.json BENCH_faults.json BENCH_atlasd.json BENCH_stream.json
+	rm -f BENCH_audit.json BENCH_locate.json BENCH_faults.json BENCH_atlasd.json BENCH_stream.json BENCH_constellation.json
 	rm -f cover_atlasd.out cover_loadgen.out
 	$(GO) clean ./...

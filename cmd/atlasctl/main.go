@@ -1,0 +1,183 @@
+// Command atlasctl operates an atlasd constellation over plain HTTP:
+// it is the thin CLI face of constellation.Controller, speaking only
+// the shards' existing wire surface, so it works against any fleet it
+// can reach — in-process test clusters export the same endpoints.
+//
+// Usage:
+//
+//	atlasctl -shards URL[,URL...] status
+//	atlasctl -shards URL[,URL...] advance-epoch
+//	atlasctl -shards URL[,URL...] [-ring-seed N] [-vnodes K] drain NAME
+//	atlasctl -shards URL[,URL...] sync-epoch NAME EPOCH
+//
+// Shard names default to the URL host; NAME@URL entries assign
+// explicit names, which must match the names the fleet's ring was
+// built with (drain routes ledger replays by ring position, so
+// -ring-seed and -vnodes must also match the fleet's values).
+//
+//	status         print each shard's epoch and fence state
+//	advance-epoch  run the two-phase barrier: prepare everywhere,
+//	               commit everywhere, abort all on any prepare failure
+//	drain NAME     gracefully remove NAME: drain it, then replay its
+//	               report ledger onto its ring successors
+//	sync-epoch     jump one (typically restarted) shard to the epoch
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"activegeo/internal/atlasd"
+	"activegeo/internal/constellation"
+	"activegeo/internal/netsim"
+)
+
+// parseShards turns the -shards list into named refs. Each entry is
+// either a bare URL (named by its host) or NAME@URL.
+func parseShards(list string) ([]constellation.ShardRef, error) {
+	var refs []constellation.ShardRef
+	seen := make(map[string]bool)
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, raw := "", entry
+		if at := strings.Index(entry, "@"); at >= 0 {
+			name, raw = entry[:at], entry[at+1:]
+		}
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("bad shard URL %q (want http://host:port or NAME@http://host:port)", entry)
+		}
+		if name == "" {
+			name = u.Host
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate shard name %q", name)
+		}
+		seen[name] = true
+		refs = append(refs, constellation.ShardRef{
+			Name:   name,
+			Client: &atlasd.Client{BaseURL: strings.TrimRight(raw, "/")},
+		})
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("no shards given")
+	}
+	return refs, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atlasctl: ")
+	shardsFlag := flag.String("shards", "", "comma-separated shard URLs (NAME@URL to name them)")
+	ringSeed := flag.Int64("ring-seed", 0, "ring placement seed (must match the fleet's; used by drain)")
+	vnodes := flag.Int("vnodes", constellation.DefaultVirtualNodes, "virtual nodes per shard (must match the fleet's; used by drain)")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall operation deadline")
+	flag.Parse()
+
+	refs, err := parseShards(*shardsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl := &constellation.Controller{Shards: func() []constellation.ShardRef { return refs }}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch cmd := flag.Arg(0); cmd {
+	case "status":
+		bad := 0
+		for _, st := range ctl.Status(ctx) {
+			if st.Err != nil {
+				fmt.Printf("%-12s unreachable: %v\n", st.Name, st.Err)
+				bad++
+				continue
+			}
+			fence := ""
+			if st.Fenced {
+				fence = "  [fenced]"
+			}
+			fmt.Printf("%-12s epoch %d%s\n", st.Name, st.Epoch, fence)
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+
+	case "advance-epoch":
+		epoch, err := ctl.AdvanceEpoch(ctx)
+		if err != nil {
+			log.Fatalf("barrier failed (fleet stays consistent): %v", err)
+		}
+		fmt.Printf("fleet advanced to epoch %d\n", epoch)
+
+	case "drain":
+		name := flag.Arg(1)
+		if name == "" {
+			log.Fatal("drain needs a shard name")
+		}
+		var from constellation.ShardRef
+		survivors := make([]string, 0, len(refs)-1)
+		byName := make(map[string]constellation.ShardRef, len(refs))
+		for _, ref := range refs {
+			byName[ref.Name] = ref
+			if ref.Name == name {
+				from = ref
+				continue
+			}
+			survivors = append(survivors, ref.Name)
+		}
+		if from.Client == nil {
+			log.Fatalf("unknown shard %q (have %s)", name, *shardsFlag)
+		}
+		if len(survivors) == 0 {
+			log.Fatalf("cannot drain the only shard")
+		}
+		// The post-drain ring: every shard but the victim. Replays route
+		// by the same pure placement function the fleet uses.
+		ring := constellation.NewRing(*ringSeed, *vnodes, survivors...)
+		route := func(clientID string) []constellation.ShardRef {
+			var out []constellation.ShardRef
+			for _, s := range ring.Successors(netsim.HostID(clientID)) {
+				out = append(out, byName[s])
+			}
+			return out
+		}
+		replayed, err := ctl.DrainShard(ctx, from, route)
+		if err != nil {
+			log.Fatalf("drain: %v", err)
+		}
+		fmt.Printf("drained %s; replayed %d ledger entries to successors\n", name, replayed)
+
+	case "sync-epoch":
+		name, epochArg := flag.Arg(1), flag.Arg(2)
+		if name == "" || epochArg == "" {
+			log.Fatal("sync-epoch needs a shard name and an epoch")
+		}
+		epoch, err := strconv.ParseInt(epochArg, 10, 64)
+		if err != nil {
+			log.Fatalf("bad epoch %q: %v", epochArg, err)
+		}
+		for _, ref := range refs {
+			if ref.Name != name {
+				continue
+			}
+			if err := ctl.SyncEpoch(ctx, ref, epoch); err != nil {
+				log.Fatalf("sync: %v", err)
+			}
+			fmt.Printf("%s synced to epoch %d\n", name, epoch)
+			return
+		}
+		log.Fatalf("unknown shard %q", name)
+
+	default:
+		log.Fatalf("unknown command %q (want status, advance-epoch, drain or sync-epoch)", cmd)
+	}
+}

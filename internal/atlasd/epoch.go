@@ -1,0 +1,323 @@
+package atlasd
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The epoch barrier endpoints make a fleet of atlasd shards advance
+// their model epochs in lock-step (DESIGN.md §13). A controller drives
+// the classic two-phase shape over plain HTTP:
+//
+//	POST /v1/epoch/prepare {"epoch": N}   fence model serving, drain
+//	                                      in-flight model responses,
+//	                                      ack when none remain
+//	POST /v1/epoch/commit  {"epoch": N}   flip to epoch N under the
+//	                                      fence, then unfence
+//	POST /v1/epoch/abort   {"epoch": N}   drop the fence, stay at N-1
+//	POST /v1/epoch/sync    {"epoch": N}   jump straight to N (a shard
+//	                                      joining an existing fleet)
+//	GET  /v1/epoch                        current epoch + fence state
+//
+// The guarantee: once every shard has acked prepare, no model response
+// fitted at the old epoch is in flight anywhere, and model serving is
+// held until commit — so at every instant the fleet serves models from
+// exactly one epoch. A fence that never sees its commit (controller
+// crash) auto-aborts after Config.FenceTTL, so an abandoned barrier
+// degrades to "stay at the old epoch", never to a wedged shard.
+
+// DefaultFenceTTL bounds how long a prepared-but-uncommitted fence may
+// hold model serving before the shard aborts it unilaterally.
+const DefaultFenceTTL = 5 * time.Second
+
+var (
+	// errEpochConflict: the requested transition does not apply to this
+	// shard's state (wrong target, no fence to commit, …). 409.
+	errEpochConflict = errors.New("atlasd: epoch transition conflict")
+	// errFenceTimeout: in-flight model responses did not drain within
+	// the TTL; the fence was dropped. 503 — the controller retries.
+	errFenceTimeout = errors.New("atlasd: epoch fence timed out waiting for in-flight models")
+)
+
+// epochGate serializes model serving against epoch flips. Model
+// requests enter/exit around the fit-and-respond path; prepare fences
+// the gate and waits for in-flight responses to finish; commit flips
+// the epoch while the fence is still up, so no request can observe a
+// half-advanced shard.
+type epochGate struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	fenced     bool
+	committing bool
+	target     int64
+	inflight   int
+	ttl        *time.Timer
+}
+
+func newEpochGate() *epochGate {
+	g := &epochGate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// enter blocks while the gate is fenced, then registers one in-flight
+// model response. The fence TTL bounds the wait. Every enter must be
+// paired with exit.
+func (g *epochGate) enter() {
+	g.mu.Lock()
+	for g.fenced {
+		g.cond.Wait()
+	}
+	g.inflight++
+	g.mu.Unlock()
+}
+
+func (g *epochGate) exit() {
+	g.mu.Lock()
+	g.inflight--
+	if g.inflight == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// fence raises the barrier toward target (which must be cur+1). A
+// re-prepare of the same target is idempotent. The TTL timer aborts
+// the fence if no commit arrives in time.
+func (g *epochGate) fence(target, cur int64, ttl time.Duration) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.fenced {
+		if g.target == target {
+			return nil // idempotent re-prepare
+		}
+		return errEpochConflict
+	}
+	if target != cur+1 {
+		return errEpochConflict
+	}
+	g.fenced = true
+	g.committing = false
+	g.target = target
+	g.ttl = time.AfterFunc(ttl, func() { g.abort(target) })
+	return nil
+}
+
+// waitIdle blocks until no model response is in flight, or the bound
+// elapses. It reports whether the gate actually went idle.
+func (g *epochGate) waitIdle(bound time.Duration) bool {
+	timedOut := false
+	t := time.AfterFunc(bound, func() {
+		g.mu.Lock()
+		timedOut = true
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	})
+	defer t.Stop()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.inflight > 0 && !timedOut {
+		g.cond.Wait()
+	}
+	return g.inflight == 0
+}
+
+// beginCommit claims the fenced gate for the commit; the fence stays
+// up until release, so the epoch flip happens entirely behind it.
+func (g *epochGate) beginCommit(target int64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.fenced || g.target != target || g.committing {
+		return errEpochConflict
+	}
+	g.committing = true
+	return nil
+}
+
+// release drops the fence after a completed commit.
+func (g *epochGate) release(target int64) {
+	g.mu.Lock()
+	if g.target == target {
+		g.fenced = false
+		g.committing = false
+		if g.ttl != nil {
+			g.ttl.Stop()
+		}
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// abort drops an uncommitted fence for target. Called by the TTL timer
+// and by the controller's abort; a commit already in progress wins.
+func (g *epochGate) abort(target int64) {
+	g.mu.Lock()
+	if g.fenced && !g.committing && g.target == target {
+		g.fenced = false
+		if g.ttl != nil {
+			g.ttl.Stop()
+		}
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// forceRelease unconditionally clears any fence — the sync path, where
+// a joining shard adopts the fleet epoch regardless of local state.
+func (g *epochGate) forceRelease() {
+	g.mu.Lock()
+	g.fenced = false
+	g.committing = false
+	if g.ttl != nil {
+		g.ttl.Stop()
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *epochGate) isFenced() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.fenced
+}
+
+// EpochInfo is the GET /v1/epoch response.
+type EpochInfo struct {
+	Epoch  int64  `json:"epoch"`
+	Fenced bool   `json:"fenced"`
+	Shard  string `json:"shard,omitempty"`
+}
+
+// epochReq is the body of every epoch transition POST.
+type epochReq struct {
+	Epoch int64 `json:"epoch"`
+}
+
+func (s *Server) fenceTTL() time.Duration {
+	if s.cfg.FenceTTL > 0 {
+		return s.cfg.FenceTTL
+	}
+	return DefaultFenceTTL
+}
+
+// prepareEpoch fences model serving toward target and waits for every
+// in-flight model response to complete.
+func (s *Server) prepareEpoch(target int64) error {
+	if err := s.egate.fence(target, s.epoch.Load(), s.fenceTTL()); err != nil {
+		return err
+	}
+	if !s.egate.waitIdle(s.fenceTTL()) {
+		s.egate.abort(target)
+		return errFenceTimeout
+	}
+	return nil
+}
+
+// commitEpoch flips the shard to target behind the still-raised fence:
+// between beginCommit and release no model request can be served, so
+// no response mixes the old epoch's cache with the new stamp.
+func (s *Server) commitEpoch(target int64) error {
+	if err := s.egate.beginCommit(target); err != nil {
+		return err
+	}
+	s.epoch.Store(target)
+	s.models.reset()
+	s.egate.release(target)
+	return nil
+}
+
+// syncEpoch jumps the shard to target unconditionally — how a freshly
+// (re)started shard adopts the fleet epoch before taking traffic.
+func (s *Server) syncEpoch(target int64) {
+	s.egate.forceRelease()
+	s.epoch.Store(target)
+	s.models.reset()
+}
+
+func (s *Server) handleEpochStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, EpochInfo{
+		Epoch:  s.epoch.Load(),
+		Fenced: s.egate.isFenced(),
+		Shard:  s.cfg.ShardName,
+	})
+}
+
+func (s *Server) handleEpochOp(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	op := strings.TrimPrefix(r.URL.Path, "/v1/epoch/")
+	var req epochReq
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad epoch request: "+err.Error())
+		return
+	}
+	var err error
+	switch op {
+	case "prepare":
+		err = s.prepareEpoch(req.Epoch)
+	case "commit":
+		err = s.commitEpoch(req.Epoch)
+	case "abort":
+		s.egate.abort(req.Epoch)
+	case "sync":
+		s.syncEpoch(req.Epoch)
+	default:
+		httpError(w, http.StatusNotFound, "unknown epoch operation "+op)
+		return
+	}
+	switch {
+	case err == nil:
+		s.tel.Add("atlasd.epoch."+op, 1)
+		writeJSON(w, http.StatusOK, EpochInfo{
+			Epoch:  s.epoch.Load(),
+			Fenced: s.egate.isFenced(),
+			Shard:  s.cfg.ShardName,
+		})
+	case errors.Is(err, errEpochConflict):
+		httpError(w, http.StatusConflict, err.Error())
+	default:
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	}
+}
+
+// handleReports dumps the full report ledger — the harvest half of a
+// controller-driven drain, which replays these entries onto the ring
+// successor. Served outside the drain gate so a draining shard can
+// still be harvested.
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Reports())
+}
+
+// handleDrain begins shutdown and blocks until every in-flight
+// measurement-path request has finished — the wire form of Drain, so a
+// remote controller can gracefully remove a shard. The response
+// reports how many ledgered reports are ready to harvest.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if err := s.Drain(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "drain interrupted: "+err.Error())
+		return
+	}
+	s.mu.Lock()
+	n := len(s.reports)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int{"ledgered": n})
+}

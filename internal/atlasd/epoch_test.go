@@ -1,0 +1,352 @@
+package atlasd
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+)
+
+func landmark0(t *testing.T) string {
+	t.Helper()
+	return string(testCons().All()[0].Host.ID)
+}
+
+// TestEpochBarrierFlow walks the happy path over HTTP: status →
+// prepare (fenced) → commit (flipped, unfenced), with the model epoch
+// stamp following.
+func TestEpochBarrierFlow(t *testing.T) {
+	ts, _ := testServerCfg(t, Config{Seed: 31, Opts: cbgOptions(), ShardName: "s-test"})
+	c := client(ts)
+	ctx := context.Background()
+
+	info, err := c.EpochStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 0 || info.Fenced || info.Shard != "s-test" {
+		t.Fatalf("initial status %+v", info)
+	}
+
+	m0, err := c.Model(ctx, landmark0(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.Epoch != 0 {
+		t.Fatalf("model epoch %d before any barrier", m0.Epoch)
+	}
+
+	if err := c.EpochPrepare(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ = c.EpochStatus(ctx); !info.Fenced || info.Epoch != 0 {
+		t.Fatalf("after prepare: %+v", info)
+	}
+	// Re-prepare of the same target is idempotent.
+	if err := c.EpochPrepare(ctx, 1); err != nil {
+		t.Fatalf("re-prepare: %v", err)
+	}
+
+	if err := c.EpochCommit(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ = c.EpochStatus(ctx); info.Fenced || info.Epoch != 1 {
+		t.Fatalf("after commit: %+v", info)
+	}
+	m1, err := c.Model(ctx, landmark0(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Epoch != 1 {
+		t.Fatalf("model epoch %d after commit to 1", m1.Epoch)
+	}
+	// The refitted line is identical — the fit is a pure function of the
+	// mesh, which is what lets the transcript hash exclude the epoch.
+	if m1.SlopeMsPerKm != m0.SlopeMsPerKm || m1.InterceptMs != m0.InterceptMs {
+		t.Errorf("refit changed the model: %+v vs %+v", m1, m0)
+	}
+}
+
+// TestEpochConflicts: transitions that do not apply to the shard's
+// state are 409s, and leave it unchanged.
+func TestEpochConflicts(t *testing.T) {
+	ts, srv := testServer(t)
+	c := client(ts)
+	ctx := context.Background()
+
+	conflict := func(err error) {
+		t.Helper()
+		var he *HTTPError
+		if !errors.As(err, &he) || he.Status != http.StatusConflict {
+			t.Fatalf("want 409 conflict, got %v", err)
+		}
+	}
+	// Prepare must target cur+1.
+	conflict(c.EpochPrepare(ctx, 2))
+	// Commit without a fence.
+	conflict(c.EpochCommit(ctx, 1))
+	// Prepare for 1, then a conflicting prepare for another target.
+	if err := c.EpochPrepare(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	conflict(c.EpochPrepare(ctx, 2))
+	// Commit for the wrong target.
+	conflict(c.EpochCommit(ctx, 2))
+	// Abort is idempotent and releases the fence.
+	if err := c.EpochAbort(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EpochAbort(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Epoch() != 0 || srv.egate.isFenced() {
+		t.Fatalf("epoch %d fenced=%t after aborted barrier", srv.Epoch(), srv.egate.isFenced())
+	}
+}
+
+// TestEpochSync: a joining shard jumps straight to the fleet epoch,
+// clearing any stale fence.
+func TestEpochSync(t *testing.T) {
+	ts, srv := testServer(t)
+	c := client(ts)
+	ctx := context.Background()
+	if err := c.EpochPrepare(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EpochSync(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Epoch() != 7 || srv.egate.isFenced() {
+		t.Fatalf("epoch %d fenced=%t after sync", srv.Epoch(), srv.egate.isFenced())
+	}
+}
+
+// TestFenceBlocksModelsUntilCommit: a prepared fence holds model
+// requests; they complete — in the new epoch — once the commit lands.
+func TestFenceBlocksModelsUntilCommit(t *testing.T) {
+	ts, _ := testServer(t)
+	c := client(ts)
+	ctx := context.Background()
+	if err := c.EpochPrepare(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan *ModelInfo, 1)
+	errc := make(chan error, 1)
+	go func() {
+		m, err := c.Model(ctx, landmark0(t))
+		if err != nil {
+			errc <- err
+			return
+		}
+		got <- m
+	}()
+
+	select {
+	case m := <-got:
+		t.Fatalf("model served through a raised fence: %+v", m)
+	case err := <-errc:
+		t.Fatalf("model errored under fence: %v", err)
+	case <-time.After(50 * time.Millisecond):
+		// still blocked — correct
+	}
+	if err := c.EpochCommit(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Epoch != 1 {
+			t.Fatalf("fence-released model at epoch %d, want 1", m.Epoch)
+		}
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("model still blocked after commit")
+	}
+}
+
+// TestFenceTTLAutoAborts: a fence whose controller never commits drops
+// after FenceTTL, so a crashed controller cannot wedge model serving.
+func TestFenceTTLAutoAborts(t *testing.T) {
+	ts, srv := testServerCfg(t, Config{Seed: 31, Opts: cbgOptions(), FenceTTL: 30 * time.Millisecond})
+	c := client(ts)
+	ctx := context.Background()
+	if err := c.EpochPrepare(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.egate.isFenced() {
+		if time.Now().After(deadline) {
+			t.Fatal("fence never auto-aborted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Epoch() != 0 {
+		t.Fatalf("epoch advanced to %d by an abandoned fence", srv.Epoch())
+	}
+	if _, err := c.Model(ctx, landmark0(t)); err != nil {
+		t.Fatalf("model blocked after TTL abort: %v", err)
+	}
+	// The late commit finds no fence: 409, not a silent flip.
+	var he *HTTPError
+	if err := c.EpochCommit(ctx, 1); !errors.As(err, &he) || he.Status != http.StatusConflict {
+		t.Fatalf("late commit: %v", err)
+	}
+}
+
+// TestLedgerAndDrainEndpoints: /v1/reports hands the ledger over and
+// POST /v1/drain drains, both still answering on a draining shard.
+func TestLedgerAndDrainEndpoints(t *testing.T) {
+	ts, _ := testServer(t)
+	c := client(ts)
+	ctx := context.Background()
+	rep := Report{
+		Client:  "ledger-client",
+		Seq:     3,
+		Samples: []ReportSample{{LandmarkID: landmark0(t), RTTms: 9}},
+	}
+	if err := c.Upload(ctx, rep); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.DrainServer(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("drain reported %d ledgered, want 1", n)
+	}
+	// Harvest still works after the drain; the measurement path is 503.
+	reports, err := c.Ledger(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Client != "ledger-client" || reports[0].Seq != 3 {
+		t.Fatalf("harvest %+v", reports)
+	}
+	var he *HTTPError
+	if err := c.Upload(ctx, rep); !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("upload on drained shard: %v", err)
+	}
+	info, err := c.EpochStatus(ctx)
+	if err != nil || info == nil {
+		t.Fatalf("epoch status on drained shard: %v", err)
+	}
+}
+
+// TestModelNotOwnedCounter: a shard serves models it does not own (the
+// answer is identical everywhere) but counts the off-partition traffic.
+func TestModelNotOwnedCounter(t *testing.T) {
+	ts, srv := testServerCfg(t, Config{
+		Seed: 31, Opts: cbgOptions(),
+		Owns: func(id string) bool { return false },
+	})
+	c := client(ts)
+	if _, err := c.Model(context.Background(), landmark0(t)); err != nil {
+		t.Fatal(err)
+	}
+	if m := srv.Metrics(); m.ModelNotOwned != 1 {
+		t.Errorf("ModelNotOwned = %d, want 1", m.ModelNotOwned)
+	}
+}
+
+// TestRetrySingle503Terminal pins the single-server semantics the
+// failover fix must not change: against one target, 503 stays terminal.
+func TestRetrySingle503Terminal(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), 10, func() error {
+		calls++
+		return &HTTPError{Status: http.StatusServiceUnavailable, Msg: "draining"}
+	})
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("got %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("503 retried %d times against a single server", calls)
+	}
+}
+
+// TestRetryChainFailover is the regression test for the constellation
+// failover fix: a 503 moves to the next ring successor instead of
+// killing the campaign, and only when no successor remains is it
+// terminal again.
+func TestRetryChainFailover(t *testing.T) {
+	ctx := context.Background()
+	unavailable := func() error {
+		return &HTTPError{Status: http.StatusServiceUnavailable, Msg: "draining"}
+	}
+
+	// 503 on the first target fails over; the second answers.
+	second := 0
+	err := RetryChain(ctx, 10, unavailable, func() error { second++; return nil })
+	if err != nil || second != 1 {
+		t.Fatalf("chain did not fail over: err=%v second=%d", err, second)
+	}
+
+	// Transport-level failure fails over too.
+	second = 0
+	transportErr := func() error { return &url.Error{Op: "Get", URL: "http://s0", Err: errors.New("connection refused")} }
+	if err := RetryChain(ctx, 10, transportErr, func() error { second++; return nil }); err != nil || second != 1 {
+		t.Fatalf("transport error did not fail over: err=%v second=%d", err, second)
+	}
+
+	// Every successor 503ing is terminal with the last error.
+	var he *HTTPError
+	if err := RetryChain(ctx, 10, unavailable, unavailable, unavailable); !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted chain: %v", err)
+	}
+
+	// Semantic rejections do not fail over: every shard would say the
+	// same thing.
+	second = 0
+	badReq := func() error { return &HTTPError{Status: http.StatusBadRequest, Msg: "no"} }
+	if err := RetryChain(ctx, 10, badReq, func() error { second++; return nil }); second != 0 {
+		t.Fatalf("400 failed over: err=%v", err)
+	}
+
+	// 429 is retried on the same target, not failed over.
+	calls, second := 0, 0
+	shedThenOK := func() error {
+		calls++
+		if calls < 3 {
+			return &HTTPError{Status: http.StatusTooManyRequests, Msg: "shed"}
+		}
+		return nil
+	}
+	if err := RetryChain(ctx, 10, shedThenOK, func() error { second++; return nil }); err != nil || second != 0 || calls != 3 {
+		t.Fatalf("shed handling: err=%v calls=%d second=%d", err, calls, second)
+	}
+
+	// Context expiry is the caller's deadline, not the shard's fault.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	second = 0
+	if err := RetryChain(cctx, 10, func() error { return cctx.Err() }, func() error { second++; return nil }); second != 0 {
+		t.Fatalf("context error failed over: %v", err)
+	}
+}
+
+// TestFailoverClassifier pins the classifier table directly.
+func TestFailoverClassifier(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&HTTPError{Status: http.StatusServiceUnavailable}, true},
+		{&HTTPError{Status: http.StatusTooManyRequests}, false},
+		{&HTTPError{Status: http.StatusBadRequest}, false},
+		{&HTTPError{Status: http.StatusConflict}, false},
+		{&url.Error{Op: "Get", URL: "x", Err: errors.New("refused")}, true},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{errors.New("other"), false},
+	}
+	for _, tc := range cases {
+		if got := Failover(tc.err); got != tc.want {
+			t.Errorf("Failover(%v) = %t, want %t", tc.err, got, tc.want)
+		}
+	}
+}

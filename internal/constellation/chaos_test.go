@@ -1,0 +1,135 @@
+package constellation
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"activegeo/internal/atlasd"
+	"activegeo/internal/cbg"
+	"activegeo/internal/loadgen"
+	"activegeo/internal/measure"
+)
+
+// TestChaosSoak is the constellation chaos soak (`make
+// soak-constellation`): rounds of cluster load generation while one
+// shard per interval is killed and restarted, with an epoch advance
+// every few rounds. Each round's merged transcripts must be
+// byte-identical to a fresh single-shard serial oracle, and the merged
+// ledger must hold every accepted report exactly once — a kill that
+// dropped a ledgered report, or a restart that served a stale model,
+// fails the round.
+//
+// ACTIVEGEO_CHAOS_MINUTES sets the soak length with a one-kill-per-
+// minute cadence (nightly runs 15). Unset, the test runs two quick
+// rounds with a sub-second cadence — the same protocol, CI-sized.
+func TestChaosSoak(t *testing.T) {
+	minutes := 0
+	if v := os.Getenv("ACTIVEGEO_CHAOS_MINUTES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("ACTIVEGEO_CHAOS_MINUTES=%q: %v", v, err)
+		}
+		minutes = n
+	}
+	interval := 250 * time.Millisecond
+	deadline := time.Now() // quick mode: no deadline, just minRounds
+	if minutes > 0 {
+		interval = time.Minute
+		deadline = time.Now().Add(time.Duration(minutes) * time.Minute)
+	}
+	const minRounds = 2
+
+	cons, hosts := world(t)
+	ctx := context.Background()
+	base := atlasd.Config{Seed: 47, Opts: cbg.Options{Slowline: true}}
+	shards := []string{"s0", "s1", "s2"}
+	fleet := NewCluster(cons, base, shards, 47, 16)
+	runner := &loadgen.ClusterRunner{
+		Coordinator: fleet.Client(),
+		Tool:        &measure.CLITool{Net: cons.Net()},
+		Hosts:       hosts,
+	}
+
+	var acceptedKeys []string
+	for round := 0; round < minRounds || time.Now().Before(deadline); round++ {
+		cfg := loadgen.ClusterConfig{
+			Clients:     testClients,
+			Iterations:  2,
+			SecondPhase: 6,
+			Seed:        47,
+			SeqBase:     int64(round) * 100,
+		}
+
+		// Chaos: partway through the round, cycle one shard. Even rounds
+		// partition it abruptly and heal; odd rounds drain-and-restart it
+		// (ledger replayed to the survivors, fresh server rejoins at the
+		// fleet epoch).
+		victim := shards[round%len(shards)]
+		chaosDone := make(chan error, 1)
+		go func() {
+			time.Sleep(interval / 2)
+			if round%2 == 0 {
+				fleet.SetDown(victim, true)
+				time.Sleep(interval / 4)
+				fleet.SetDown(victim, false)
+				chaosDone <- nil
+				return
+			}
+			chaosDone <- fleet.Restart(ctx, victim)
+		}()
+
+		res, err := runner.Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := <-chaosDone; err != nil {
+			t.Fatalf("round %d: chaos cycle of %s: %v", round, victim, err)
+		}
+
+		// Fresh single-shard serial oracle for the same round config.
+		oracleCluster := NewCluster(cons, base, []string{"oracle"}, 47, 16)
+		oc := oracleCluster.Client()
+		oc.NoHedge = true
+		ocfg := cfg
+		ocfg.Concurrency = 1
+		oracle, err := (&loadgen.ClusterRunner{
+			Coordinator: oc,
+			Tool:        &measure.CLITool{Net: cons.Net()},
+			Hosts:       hosts,
+		}).Run(ctx, ocfg)
+		if err != nil {
+			t.Fatalf("round %d oracle: %v", round, err)
+		}
+		if !loadgen.TranscriptsIdentical(oracle, res) {
+			for i := range oracle.PerClient {
+				if oracle.PerClient[i].TranscriptSHA != res.PerClient[i].TranscriptSHA {
+					t.Errorf("round %d: client %s transcript diverged under chaos",
+						round, oracle.PerClient[i].Client)
+				}
+			}
+			t.Fatalf("round %d: chaos transcripts diverged from serial oracle", round)
+		}
+		if res.AcceptedReports != oracle.AcceptedReports {
+			t.Fatalf("round %d: accepted %d vs oracle %d", round, res.AcceptedReports, oracle.AcceptedReports)
+		}
+
+		// Exactly-once across the whole soak so far: every receipt from
+		// every round is still ledgered somewhere, never twice per shard.
+		for _, st := range res.PerClient {
+			for _, seq := range st.AcceptedSeqs {
+				acceptedKeys = append(acceptedKeys, fmt.Sprintf("%s|%d", st.Client, seq))
+			}
+		}
+		assertMergedExactlyOnce(t, fleet, acceptedKeys)
+
+		if round%3 == 2 {
+			if _, err := fleet.Controller().AdvanceEpoch(ctx); err != nil {
+				t.Fatalf("round %d: epoch advance: %v", round, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package constellation
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"activegeo/internal/atlasd"
+	"activegeo/internal/mathx"
+	"activegeo/internal/netsim"
+	"activegeo/internal/telemetry"
+)
+
+// DefaultAttempts bounds shed-retries per shard before the client
+// either fails over or gives up.
+const DefaultAttempts = 50
+
+// Hedging defaults: before any phase-2 latency has been observed the
+// hedge fires after InitialHedgeDelay; afterwards it fires at the p99
+// of the observed window, clamped to [MinHedgeDelay, MaxHedgeDelay].
+const (
+	InitialHedgeDelay = 5 * time.Millisecond
+	MinHedgeDelay     = time.Millisecond
+	MaxHedgeDelay     = 100 * time.Millisecond
+)
+
+// hedgeWindow is how many recent phase-2 latencies the p99 is computed
+// over. Small enough to track a drifting service, large enough that
+// the p99 is not just the max of a handful of samples.
+const hedgeWindow = 64
+
+// hedgeTracker derives the hedge delay from observed phase-2 latency:
+// a fixed ring buffer of recent samples whose p99 is the point where a
+// straggling primary is slower than 99% of history — the classic
+// tail-at-scale trigger for sending the backup request.
+type hedgeTracker struct {
+	mu    sync.Mutex
+	latMs [hedgeWindow]float64
+	n     int // filled entries
+	idx   int // next write position
+}
+
+func (h *hedgeTracker) observe(ms float64) {
+	h.mu.Lock()
+	h.latMs[h.idx] = ms
+	h.idx = (h.idx + 1) % hedgeWindow
+	if h.n < hedgeWindow {
+		h.n++
+	}
+	h.mu.Unlock()
+}
+
+// delay returns the current hedge trigger.
+func (h *hedgeTracker) delay() time.Duration {
+	h.mu.Lock()
+	n := h.n
+	window := make([]float64, n)
+	copy(window, h.latMs[:n])
+	h.mu.Unlock()
+	if n < 8 {
+		return InitialHedgeDelay
+	}
+	sort.Float64s(window)
+	d := time.Duration(mathx.Quantile(window, 0.99) * float64(time.Millisecond))
+	if d < MinHedgeDelay {
+		return MinHedgeDelay
+	}
+	if d > MaxHedgeDelay {
+		return MaxHedgeDelay
+	}
+	return d
+}
+
+// Client is the sharding-aware coordination client: it routes every
+// call by consistent-hash position (models by landmark ID — the
+// partition; uploads by client ID — ledger locality; landmark draws by
+// draw key — load spreading), fails over to the next ring successor on
+// 503 or transport failure, and hedges phase-2 queries with a backup
+// request to the successor after a p99-derived delay, first response
+// wins. It implements atlasd.Coordinator, so RemoteTwoPhase and the
+// load generator drive a whole constellation exactly as they drive one
+// server.
+type Client struct {
+	// Ring is the shared routing ring; the cluster mutates it on drains
+	// and joins and every reader picks the change up immediately.
+	Ring *Ring
+	// Resolve maps a shard name to its wire client. Returning nil means
+	// the shard has left the cluster; the call moves to the next
+	// successor.
+	Resolve func(shard string) *atlasd.Client
+	// Telemetry, when non-nil, receives routing, failover and hedge
+	// counters under "constellation.*".
+	Telemetry *telemetry.Collector
+	// Attempts bounds shed-retries per shard; 0 means DefaultAttempts.
+	Attempts int
+	// NoHedge disables hedged phase-2 queries (the serial oracle runs
+	// with hedging off so wall-clock noise cannot even in principle
+	// change its issue order; with it on the answers are identical —
+	// that is the determinism contract — but the oracle should not
+	// depend on it).
+	NoHedge bool
+
+	hedge hedgeTracker
+}
+
+var _ atlasd.Coordinator = (*Client)(nil)
+
+func (c *Client) attempts() int {
+	if c.Attempts > 0 {
+		return c.Attempts
+	}
+	return DefaultAttempts
+}
+
+func (c *Client) count(name string, delta int64) {
+	if c.Telemetry != nil {
+		c.Telemetry.Add(name, delta)
+	}
+}
+
+// errNoShards is returned when the ring is empty or every member has
+// already left by the time the call resolves its client.
+var errNoShards = errors.New("constellation: no shard available")
+
+// call runs one logical operation against the key's failover chain:
+// the ring owner first, then each successor. Within a shard, 429s
+// retry with backoff (atlasd.Retry); a 503 or transport failure moves
+// down the chain; the last shard keeps terminal semantics.
+func (c *Client) call(ctx context.Context, key netsim.HostID, op string, fn func(sc *atlasd.Client) error) error {
+	order := c.Ring.Successors(key)
+	if len(order) == 0 {
+		return errNoShards
+	}
+	var err error
+	tried := 0
+	for _, shard := range order {
+		sc := c.Resolve(shard)
+		if sc == nil {
+			continue // left the cluster between routing and resolving
+		}
+		if tried > 0 {
+			c.count("constellation.failover", 1)
+			c.count("constellation.failover."+op, 1)
+		}
+		tried++
+		c.count("constellation.route."+shard, 1)
+		err = atlasd.Retry(ctx, c.attempts(), func() error { return fn(sc) })
+		if err == nil || !atlasd.Failover(err) {
+			return err
+		}
+	}
+	if tried == 0 {
+		return errNoShards
+	}
+	return err
+}
+
+// Phase1Landmarks routes by the draw key: the response is a pure
+// function of (seed, request), so any shard serves it identically and
+// the ring position just spreads load.
+func (c *Client) Phase1Landmarks(ctx context.Context, draw string) ([]atlasd.LandmarkInfo, error) {
+	var out []atlasd.LandmarkInfo
+	err := c.call(ctx, netsim.HostID("p1|"+draw), "phase1", func(sc *atlasd.Client) error {
+		var err error
+		out, err = sc.Phase1Landmarks(ctx, draw)
+		return err
+	})
+	return out, err
+}
+
+// Phase2Landmarks is the hedged call: the primary goes to the ring
+// owner of the draw key; if it has not answered within the p99-derived
+// delay, a backup goes to the next successor and the first response
+// wins, cancelling the loser. Identical responses from either shard
+// keep the transcript independent of which one wins.
+func (c *Client) Phase2Landmarks(ctx context.Context, continent string, n int, draw string) ([]atlasd.LandmarkInfo, error) {
+	key := netsim.HostID("p2|" + continent + "|" + draw)
+	plain := func() ([]atlasd.LandmarkInfo, error) {
+		var out []atlasd.LandmarkInfo
+		err := c.call(ctx, key, "phase2", func(sc *atlasd.Client) error {
+			var err error
+			out, err = sc.Phase2Landmarks(ctx, continent, n, draw)
+			return err
+		})
+		return out, err
+	}
+	order := c.Ring.Successors(key)
+	if c.NoHedge || len(order) < 2 {
+		return plain()
+	}
+	primary, backup := c.Resolve(order[0]), c.Resolve(order[1])
+	if primary == nil || backup == nil {
+		return plain()
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type leg struct {
+		lms    []atlasd.LandmarkInfo
+		err    error
+		hedged bool
+	}
+	// Buffered so the losing leg's send never blocks after we return.
+	ch := make(chan leg, 2)
+	launch := func(sc *atlasd.Client, hedged bool) {
+		go func(sc *atlasd.Client, hedged bool) {
+			lms, err := sc.Phase2Landmarks(hctx, continent, n, draw)
+			ch <- leg{lms: lms, err: err, hedged: hedged}
+		}(sc, hedged)
+	}
+	start := time.Now()
+	c.count("constellation.route."+order[0], 1)
+	launch(primary, false)
+	timer := time.NewTimer(c.hedge.delay())
+	defer timer.Stop()
+	pending := 1
+	for {
+		select {
+		case <-timer.C:
+			if pending == 1 {
+				c.count("constellation.hedge.launched", 1)
+				c.count("constellation.route."+order[1], 1)
+				launch(backup, true)
+				pending = 2
+			}
+		case l := <-ch:
+			if l.err == nil {
+				cancel() // first response wins; the loser is cancelled
+				if l.hedged {
+					c.count("constellation.hedge.won", 1)
+				}
+				c.hedge.observe(float64(time.Since(start).Microseconds()) / 1000)
+				return l.lms, nil
+			}
+			pending--
+			if pending == 0 {
+				// Both legs failed (drain, shed, transport): fall back to
+				// the full retry-with-failover chain, which owns backoff.
+				return plain()
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Model routes by landmark ID — the consistent-hash partition that
+// splits the model caches across the fleet: each shard fits only the
+// ~K/N landmarks it owns, and a fit is computed once cluster-wide
+// instead of once per shard.
+func (c *Client) Model(ctx context.Context, landmarkID string) (*atlasd.ModelInfo, error) {
+	var out *atlasd.ModelInfo
+	err := c.call(ctx, netsim.HostID(landmarkID), "model", func(sc *atlasd.Client) error {
+		var err error
+		out, err = sc.Model(ctx, landmarkID)
+		return err
+	})
+	return out, err
+}
+
+// Upload routes by client ID, so one client's (client, seq) ledger
+// entries live on one shard and retried uploads dedupe there; after a
+// drain the controller replays that ledger onto the ring successor the
+// retries now route to.
+func (c *Client) Upload(ctx context.Context, rep atlasd.Report) error {
+	return c.call(ctx, netsim.HostID(rep.Client), "report", func(sc *atlasd.Client) error {
+		return sc.Upload(ctx, rep)
+	})
+}
+
+// Metrics fetches the metrics snapshot of every live shard, keyed by
+// shard name.
+func (c *Client) Metrics(ctx context.Context) (map[string]*atlasd.Metrics, error) {
+	out := make(map[string]*atlasd.Metrics)
+	for _, shard := range c.Ring.Shards() {
+		sc := c.Resolve(shard)
+		if sc == nil {
+			continue
+		}
+		m, err := sc.Metrics(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[shard] = m
+	}
+	return out, nil
+}

@@ -1,0 +1,312 @@
+package constellation
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/atlasd"
+	"activegeo/internal/netsim"
+	"activegeo/internal/telemetry"
+)
+
+// handlerTransport serves a shard in-process: requests go straight to
+// the handler's ServeHTTP, like loadgen's transport, and a shard
+// "killed" by chaos turns into transport errors — exactly what a
+// closed port looks like to the client, which must fail over.
+type handlerTransport struct {
+	mu   sync.RWMutex
+	h    http.Handler
+	down bool
+}
+
+func (t *handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.RLock()
+	h, down := t.h, t.down
+	t.mu.RUnlock()
+	if down || h == nil {
+		return nil, fmt.Errorf("constellation: shard unreachable: %s", req.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+func (t *handlerTransport) swap(h http.Handler) {
+	t.mu.Lock()
+	t.h = h
+	t.down = false
+	t.mu.Unlock()
+}
+
+func (t *handlerTransport) setDown(down bool) {
+	t.mu.Lock()
+	t.down = down
+	t.mu.Unlock()
+}
+
+// member is one shard's in-process state.
+type member struct {
+	name      string
+	srv       *atlasd.Server
+	tel       *telemetry.Collector
+	transport *handlerTransport
+	client    *atlasd.Client
+}
+
+// Cluster is an in-process constellation: N atlasd shards over one
+// simulated world, a shared routing ring, per-shard telemetry, and the
+// lifecycle operations the chaos soak and the benchmark drive — drain
+// (with ledger replay to the ring successors), restart (fresh server,
+// epoch re-sync, rejoin) and the fleet-wide epoch barrier.
+//
+// Every shard is built over the same atlas.Constellation and world
+// seed, so its stateless responses are byte-identical to its peers' —
+// the property the routing layer leans on for deterministic failover.
+type Cluster struct {
+	cons *atlas.Constellation
+	base atlasd.Config
+	ring *Ring
+	tel  *telemetry.Collector
+	ctl  *Controller
+
+	mu      sync.Mutex
+	members map[string]*member
+}
+
+// NewCluster builds an N-shard cluster. base is the per-shard server
+// config (Seed, Opts, MaxInflight, FenceTTL); each shard gets its own
+// telemetry collector, its ShardName, and an Owns predicate bound to
+// the shared ring. ringSeed and vnodes parameterize placement.
+func NewCluster(cons *atlas.Constellation, base atlasd.Config, shards []string, ringSeed int64, vnodes int) *Cluster {
+	c := &Cluster{
+		cons:    cons,
+		base:    base,
+		ring:    NewRing(ringSeed, vnodes, shards...),
+		tel:     telemetry.New(),
+		members: make(map[string]*member),
+	}
+	c.ctl = &Controller{Shards: c.shardRefs, Telemetry: c.tel}
+	for _, name := range shards {
+		c.members[name] = c.newMember(name)
+	}
+	return c
+}
+
+// newMember builds one shard server and its in-process plumbing.
+func (c *Cluster) newMember(name string) *member {
+	tel := telemetry.New()
+	cfg := c.base
+	cfg.Telemetry = tel
+	cfg.ShardName = name
+	cfg.Owns = func(id string) bool { return c.ring.Owner(netsim.HostID(id)) == name }
+	srv := atlasd.NewServer(c.cons, cfg)
+	tr := &handlerTransport{h: srv.Handler()}
+	return &member{
+		name:      name,
+		srv:       srv,
+		tel:       tel,
+		transport: tr,
+		client: &atlasd.Client{
+			BaseURL:    "http://" + name + ".constellation.inproc",
+			HTTPClient: &http.Client{Transport: tr},
+		},
+	}
+}
+
+// Ring returns the shared routing ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Telemetry returns the cluster-level collector (routing, failover,
+// hedge and controller counters).
+func (c *Cluster) Telemetry() *telemetry.Collector { return c.tel }
+
+// Controller returns the fleet controller bound to live membership.
+func (c *Cluster) Controller() *Controller { return c.ctl }
+
+// Shard returns a live shard's server, or nil.
+func (c *Cluster) Shard(name string) *atlasd.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m := c.members[name]; m != nil {
+		return m.srv
+	}
+	return nil
+}
+
+// ShardTelemetry returns a live shard's collector, or nil.
+func (c *Cluster) ShardTelemetry(name string) *telemetry.Collector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m := c.members[name]; m != nil {
+		return m.tel
+	}
+	return nil
+}
+
+// Members returns the live shard names, sorted.
+func (c *Cluster) Members() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.members))
+	for name := range c.members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resolve maps a shard name to its wire client for the routing client.
+func (c *Cluster) resolve(name string) *atlasd.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m := c.members[name]; m != nil {
+		return m.client
+	}
+	return nil
+}
+
+// shardRefs is the controller's live membership view, sorted by name.
+func (c *Cluster) shardRefs() []ShardRef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	refs := make([]ShardRef, 0, len(c.members))
+	for _, m := range c.members {
+		refs = append(refs, ShardRef{Name: m.name, Client: m.client})
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Name < refs[j].Name })
+	return refs
+}
+
+// Client builds a sharding-aware client over the cluster. Each call
+// site may hold its own (hedge state is per client); they all share
+// the ring and the cluster telemetry.
+func (c *Cluster) Client() *Client {
+	return &Client{Ring: c.ring, Resolve: c.resolve, Telemetry: c.tel}
+}
+
+// SetDown simulates an abrupt network partition of one shard: its
+// transport returns connection errors until cleared (or until Restart
+// swaps in a fresh server). State inside the shard is untouched.
+func (c *Cluster) SetDown(name string, down bool) {
+	c.mu.Lock()
+	m := c.members[name]
+	c.mu.Unlock()
+	if m != nil {
+		m.transport.setDown(down)
+	}
+}
+
+// successorRefs routes a client ID on the current ring to live shard
+// refs — the replay targets during a drain (the drained shard has
+// already been removed from the ring).
+func (c *Cluster) successorRefs(clientID string) []ShardRef {
+	var refs []ShardRef
+	for _, name := range c.ring.Successors(keyFor(clientID)) {
+		c.mu.Lock()
+		m := c.members[name]
+		c.mu.Unlock()
+		if m != nil {
+			refs = append(refs, ShardRef{Name: m.name, Client: m.client})
+		}
+	}
+	return refs
+}
+
+// Drain gracefully removes one shard: take it out of the ring (new
+// traffic routes around it; in-flight requests to it finish or fail
+// over), drain it over the wire, then replay its (client, seq) ledger
+// onto the ring successors so client retries stay idempotent. The
+// shard leaves the member set once its ledger is safe. Returns how
+// many ledger entries were replayed.
+func (c *Cluster) Drain(ctx context.Context, name string) (int, error) {
+	c.mu.Lock()
+	m := c.members[name]
+	c.mu.Unlock()
+	if m == nil {
+		return 0, fmt.Errorf("constellation: unknown shard %q", name)
+	}
+	c.ring.Remove(name)
+	replayed, err := c.ctl.DrainShard(ctx, ShardRef{Name: m.name, Client: m.client}, c.successorRefs)
+	if err != nil {
+		// The shard is drained but its ledger is not fully replayed;
+		// keep it as a member so the harvest can be retried.
+		return replayed, err
+	}
+	c.mu.Lock()
+	delete(c.members, name)
+	c.mu.Unlock()
+	return replayed, nil
+}
+
+// Epoch returns the fleet epoch: the maximum over live shards (they
+// agree except inside a barrier window or after a partial commit).
+func (c *Cluster) Epoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var epoch int64
+	for _, m := range c.members {
+		if e := m.srv.Epoch(); e > epoch {
+			epoch = e
+		}
+	}
+	return epoch
+}
+
+// Restart cycles one shard: gracefully drain it (replaying its ledger
+// to the survivors), then bring up a fresh server under the same name
+// — empty ledger, cold model cache, epoch 0 — sync it to the fleet
+// epoch and rejoin it to the ring, which moves its ~K/N key range
+// back. This is the chaos soak's kill/restart primitive.
+func (c *Cluster) Restart(ctx context.Context, name string) error {
+	if _, err := c.Drain(ctx, name); err != nil {
+		return err
+	}
+	epoch := c.Epoch()
+	fresh := c.newMember(name)
+	// Adopt the fleet epoch over the wire before taking traffic, so a
+	// barrier never finds the fleet skewed by a restart.
+	if err := fresh.client.EpochSync(ctx, epoch); err != nil {
+		return fmt.Errorf("constellation: syncing restarted %s to epoch %d: %w", name, epoch, err)
+	}
+	c.mu.Lock()
+	c.members[name] = fresh
+	c.mu.Unlock()
+	c.ring.Add(name)
+	return nil
+}
+
+// MergedLedger merges every live shard's report ledger into one view:
+// for each (client, seq) key, which shards hold it and how many copies
+// each holds. The exactly-once contract across the whole constellation
+// is: every client-side 202 receipt has at least one copy somewhere
+// (drains replay, so entries survive their shard), and no shard holds
+// two (the per-shard dedupe). Cross-shard copies can legitimately
+// exist transiently (an entry replayed to a successor the client also
+// retried to); the merged view counts each key once.
+func (c *Cluster) MergedLedger() map[string]map[string]int {
+	c.mu.Lock()
+	members := make([]*member, 0, len(c.members))
+	for _, m := range c.members {
+		members = append(members, m)
+	}
+	c.mu.Unlock()
+	sort.Slice(members, func(i, j int) bool { return members[i].name < members[j].name })
+	out := make(map[string]map[string]int)
+	for _, m := range members {
+		for _, rep := range m.srv.Reports() {
+			key := fmt.Sprintf("%s|%d", rep.Client, rep.Seq)
+			if out[key] == nil {
+				out[key] = make(map[string]int)
+			}
+			out[key][m.name]++
+		}
+	}
+	return out
+}

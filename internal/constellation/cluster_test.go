@@ -1,0 +1,162 @@
+package constellation
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"activegeo/internal/atlasd"
+)
+
+// seedReports ledgers one report per client through the sharding
+// client, returning the (client, seq) keys accepted.
+func seedReports(t *testing.T, c *Cluster, clients int, seqBase int64) []string {
+	t.Helper()
+	cc := c.Client()
+	ctx := context.Background()
+	var keys []string
+	for i := 0; i < clients; i++ {
+		name := fmt.Sprintf("seed-client-%02d", i)
+		rep := atlasd.Report{
+			Client:  name,
+			Seq:     seqBase + 1,
+			Samples: []atlasd.ReportSample{{LandmarkID: landmarkID(t, c, i%8), RTTms: 12}},
+		}
+		if err := cc.Upload(ctx, rep); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, fmt.Sprintf("%s|%d", name, seqBase+1))
+	}
+	return keys
+}
+
+// assertMergedExactlyOnce checks every key is somewhere and no shard
+// holds two copies of any key.
+func assertMergedExactlyOnce(t *testing.T, c *Cluster, keys []string) {
+	t.Helper()
+	merged := c.MergedLedger()
+	for _, key := range keys {
+		holders := merged[key]
+		if len(holders) == 0 {
+			t.Errorf("accepted report %s dropped from every ledger", key)
+			continue
+		}
+		for shard, n := range holders {
+			if n != 1 {
+				t.Errorf("shard %s holds %d copies of %s", shard, n, key)
+			}
+		}
+	}
+}
+
+// TestClusterDrainPreservesLedger: draining a shard replays its ledger
+// to ring successors; nothing is dropped, nothing double-ledgered, and
+// the cluster keeps serving.
+func TestClusterDrainPreservesLedger(t *testing.T) {
+	c := newCluster(t, "s0", "s1", "s2")
+	ctx := context.Background()
+	keys := seedReports(t, c, 12, 0)
+
+	victim := c.Ring().Owner(keyFor("seed-client-00"))
+	had := len(c.Shard(victim).Reports())
+	if had == 0 {
+		t.Fatalf("victim %s ledgered nothing; routing is broken", victim)
+	}
+	replayed, err := c.Drain(ctx, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != had {
+		t.Errorf("replayed %d of %d ledgered reports", replayed, had)
+	}
+	if c.Shard(victim) != nil || len(c.Members()) != 2 {
+		t.Fatalf("members after drain: %v", c.Members())
+	}
+	assertMergedExactlyOnce(t, c, keys)
+
+	// A client retry of an already-ledgered seq lands on the successor
+	// and dedupes there — the replayed entry absorbs it.
+	cc := c.Client()
+	rep := atlasd.Report{
+		Client:  "seed-client-00",
+		Seq:     1,
+		Samples: []atlasd.ReportSample{{LandmarkID: landmarkID(t, c, 0), RTTms: 12}},
+	}
+	if err := cc.Upload(ctx, rep); err != nil {
+		t.Fatal(err)
+	}
+	assertMergedExactlyOnce(t, c, keys)
+}
+
+// TestClusterFailoverOnDownShard: with one shard partitioned away the
+// sharding client still answers everything, identically, by walking
+// the ring successors.
+func TestClusterFailoverOnDownShard(t *testing.T) {
+	c := newCluster(t, "s0", "s1", "s2")
+	ctx := context.Background()
+	cc := c.Client()
+
+	// Baseline answers with all shards up.
+	var want []*atlasd.ModelInfo
+	for i := 0; i < 8; i++ {
+		m, err := cc.Model(ctx, landmarkID(t, c, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, m)
+	}
+
+	c.SetDown("s1", true)
+	defer c.SetDown("s1", false)
+	for i := 0; i < 8; i++ {
+		m, err := cc.Model(ctx, landmarkID(t, c, i))
+		if err != nil {
+			t.Fatalf("model %d with s1 down: %v", i, err)
+		}
+		if m.LandmarkID != want[i].LandmarkID || m.SlopeMsPerKm != want[i].SlopeMsPerKm ||
+			m.InterceptMs != want[i].InterceptMs || m.Pooled != want[i].Pooled {
+			t.Errorf("model %d diverged across failover: %+v vs %+v", i, m, want[i])
+		}
+	}
+	if c.Telemetry().Count("constellation.failover") == 0 {
+		t.Error("no failover recorded with a shard down")
+	}
+}
+
+// TestClusterRestart: a restarted shard rejoins at the fleet epoch with
+// the ring restored, and no ledgered report is lost across the cycle.
+func TestClusterRestart(t *testing.T) {
+	c := newCluster(t, "s0", "s1", "s2")
+	ctx := context.Background()
+	keys := seedReports(t, c, 12, 0)
+	if got, err := c.Controller().AdvanceEpoch(ctx); err != nil || got != 1 {
+		t.Fatalf("advance: %d, %v", got, err)
+	}
+
+	before := c.Ring().Shards()
+	if err := c.Restart(ctx, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Ring().Shards()
+	if len(after) != len(before) {
+		t.Fatalf("ring after restart: %v", after)
+	}
+	if e := c.Shard("s1").Epoch(); e != 1 {
+		t.Errorf("restarted shard at epoch %d, want 1", e)
+	}
+	assertMergedExactlyOnce(t, c, keys)
+
+	// The fleet is barrier-ready again.
+	if got, err := c.Controller().AdvanceEpoch(ctx); err != nil || got != 2 {
+		t.Fatalf("advance after restart: %d, %v", got, err)
+	}
+}
+
+// TestClusterDrainUnknownShard: draining a non-member is an error, not
+// a panic or a silent no-op.
+func TestClusterDrainUnknownShard(t *testing.T) {
+	c := newCluster(t, "s0")
+	if _, err := c.Drain(context.Background(), "nope"); err == nil {
+		t.Fatal("drain of unknown shard succeeded")
+	}
+}

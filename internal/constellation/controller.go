@@ -1,0 +1,225 @@
+package constellation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"activegeo/internal/atlasd"
+	"activegeo/internal/netsim"
+	"activegeo/internal/telemetry"
+)
+
+// ShardRef names one shard and the wire client that reaches it — the
+// controller's whole view of a member. cmd/atlasctl builds these from
+// -shards URLs; the in-process Cluster builds them over handler
+// transports.
+type ShardRef struct {
+	Name   string
+	Client *atlasd.Client
+}
+
+// ShardEpoch is one shard's barrier-relevant state.
+type ShardEpoch struct {
+	Name   string
+	Epoch  int64
+	Fenced bool
+	Err    error
+}
+
+// Controller drives fleet-wide operations over the shards' existing
+// wire surface: the two-phase AdvanceEpoch barrier and the
+// drain-harvest-replay protocol that moves a leaving shard's ledger to
+// its ring successors. It holds no state of its own beyond the member
+// list — every decision reads the shards, so a restarted controller
+// resumes cleanly.
+type Controller struct {
+	// Shards returns the current member list; a closure so the caller's
+	// membership changes (drains, joins) are picked up per call.
+	Shards func() []ShardRef
+	// Telemetry, when non-nil, receives barrier and replay counters
+	// under "controller.*".
+	Telemetry *telemetry.Collector
+}
+
+func (ctl *Controller) count(name string, delta int64) {
+	if ctl.Telemetry != nil {
+		ctl.Telemetry.Add(name, delta)
+	}
+}
+
+// Status polls every shard's epoch state in parallel. The result is
+// sorted by shard name.
+func (ctl *Controller) Status(ctx context.Context) []ShardEpoch {
+	refs := ctl.Shards()
+	out := make([]ShardEpoch, len(refs))
+	var wg sync.WaitGroup
+	for i, ref := range refs {
+		wg.Add(1)
+		go func(i int, ref ShardRef) {
+			defer wg.Done()
+			out[i].Name = ref.Name
+			info, err := ref.Client.EpochStatus(ctx)
+			if err != nil {
+				out[i].Err = err
+				return
+			}
+			out[i].Epoch = info.Epoch
+			out[i].Fenced = info.Fenced
+		}(i, ref)
+	}
+	wg.Wait()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// errEpochSkew: the fleet disagrees on the current epoch, so there is
+// no well-defined "next" to advance to. A shard that missed a commit
+// should be EpochSync'd (or restarted) before the next barrier.
+var errEpochSkew = errors.New("constellation: fleet epochs diverge")
+
+// AdvanceEpoch runs the fleet-wide two-phase barrier (DESIGN.md §13):
+//
+//	phase 1  prepare(N+1) on every shard — each fences model serving
+//	         and acks once no old-epoch model response is in flight;
+//	phase 2  commit(N+1) on every shard — each flips behind its fence.
+//
+// If any prepare fails, every prepared shard gets abort(N+1) and the
+// fleet stays at N: the barrier is all-or-nothing on the prepare side.
+// A commit failure (a shard died inside the window) leaves that shard
+// to be EpochSync'd when it returns; the survivors are already at N+1.
+// Returns the committed epoch.
+func (ctl *Controller) AdvanceEpoch(ctx context.Context) (int64, error) {
+	refs := ctl.Shards()
+	if len(refs) == 0 {
+		return 0, errors.New("constellation: no shards to advance")
+	}
+	status := ctl.Status(ctx)
+	cur := status[0].Epoch
+	for _, st := range status {
+		if st.Err != nil {
+			return 0, fmt.Errorf("constellation: %s unreachable before barrier: %w", st.Name, st.Err)
+		}
+		if st.Epoch != cur {
+			return 0, fmt.Errorf("%w: %s at %d, %s at %d", errEpochSkew, status[0].Name, cur, st.Name, st.Epoch)
+		}
+	}
+	target := cur + 1
+
+	// Phase 1: prepare everywhere, in parallel.
+	prepErrs := make([]error, len(refs))
+	var wg sync.WaitGroup
+	for i, ref := range refs {
+		wg.Add(1)
+		go func(i int, ref ShardRef) {
+			defer wg.Done()
+			prepErrs[i] = ref.Client.EpochPrepare(ctx, target)
+		}(i, ref)
+	}
+	wg.Wait()
+	for i, err := range prepErrs {
+		if err == nil {
+			continue
+		}
+		// All-or-nothing: release every fence and stay at cur.
+		for j, ref := range refs {
+			if prepErrs[j] == nil {
+				if aerr := ref.Client.EpochAbort(ctx, target); aerr != nil {
+					ctl.count("controller.epoch.abort_failed", 1)
+				}
+			}
+		}
+		ctl.count("controller.epoch.aborted", 1)
+		return cur, fmt.Errorf("constellation: prepare(%d) failed on %s: %w", target, refs[i].Name, err)
+	}
+
+	// Phase 2: commit everywhere. After the last prepare ack no shard
+	// is serving models at all, so the first commit starting the new
+	// epoch cannot overlap a straggling old-epoch response.
+	commitErrs := make([]error, len(refs))
+	for i, ref := range refs {
+		wg.Add(1)
+		go func(i int, ref ShardRef) {
+			defer wg.Done()
+			commitErrs[i] = ref.Client.EpochCommit(ctx, target)
+		}(i, ref)
+	}
+	wg.Wait()
+	var failed []string
+	for i, err := range commitErrs {
+		if err != nil {
+			failed = append(failed, refs[i].Name)
+		}
+	}
+	if len(failed) > 0 {
+		ctl.count("controller.epoch.partial_commit", 1)
+		return target, fmt.Errorf("constellation: commit(%d) failed on %v; resync them before the next barrier", target, failed)
+	}
+	ctl.count("controller.epoch.advanced", 1)
+	return target, nil
+}
+
+// ReplayLedger harvests every report ledgered on the drained shard and
+// re-uploads each to the shards that now own its client's ring
+// position, in ledger order. The (client, seq) idempotency key makes
+// the replay itself idempotent: entries the successor already holds —
+// because the client retried there during the drain, or because a
+// previous replay attempt got partway — are acknowledged and counted
+// as duplicates, never double-ledgered. Returns how many entries were
+// replayed.
+func (ctl *Controller) ReplayLedger(ctx context.Context, from ShardRef, route func(clientID string) []ShardRef, attempts int) (int, error) {
+	reports, err := from.Client.Ledger(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("constellation: harvesting %s: %w", from.Name, err)
+	}
+	if attempts < 1 {
+		attempts = DefaultAttempts
+	}
+	replayed := 0
+	for _, rep := range reports {
+		targets := route(rep.Client)
+		if len(targets) == 0 {
+			return replayed, fmt.Errorf("constellation: no successor for client %s while replaying %s", rep.Client, from.Name)
+		}
+		fns := make([]func() error, len(targets))
+		for i, t := range targets {
+			sc := t.Client
+			r := rep
+			fns[i] = func() error { return sc.Upload(ctx, r) }
+		}
+		if err := atlasd.RetryChain(ctx, attempts, fns...); err != nil {
+			return replayed, fmt.Errorf("constellation: replaying %s|%d from %s: %w", rep.Client, rep.Seq, from.Name, err)
+		}
+		replayed++
+		ctl.count("controller.replay.reports", 1)
+	}
+	return replayed, nil
+}
+
+// DrainShard gracefully removes one shard: drain its in-flight work
+// over the wire, then replay its ledger onto the successors the route
+// function names. The caller removes the shard from its ring before
+// calling, so new traffic is already routing around it and client
+// retries land where the replay does.
+func (ctl *Controller) DrainShard(ctx context.Context, from ShardRef, route func(clientID string) []ShardRef) (int, error) {
+	if _, err := from.Client.DrainServer(ctx); err != nil {
+		return 0, fmt.Errorf("constellation: draining %s: %w", from.Name, err)
+	}
+	n, err := ctl.ReplayLedger(ctx, from, route, 0)
+	if err != nil {
+		return n, err
+	}
+	ctl.count("controller.drains", 1)
+	return n, nil
+}
+
+// SyncEpoch brings one shard (typically freshly restarted at epoch 0)
+// to the given epoch.
+func (ctl *Controller) SyncEpoch(ctx context.Context, ref ShardRef, epoch int64) error {
+	return ref.Client.EpochSync(ctx, epoch)
+}
+
+// keyFor routes a client ID the same way the sharding client does.
+func keyFor(clientID string) netsim.HostID { return netsim.HostID(clientID) }

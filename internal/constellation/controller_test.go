@@ -1,0 +1,273 @@
+package constellation
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"activegeo/internal/atlasd"
+)
+
+// TestAdvanceEpochAll: the barrier moves every shard forward together
+// and releases every fence.
+func TestAdvanceEpochAll(t *testing.T) {
+	c := newCluster(t, "s0", "s1", "s2")
+	ctx := context.Background()
+	for want := int64(1); want <= 3; want++ {
+		got, err := c.Controller().AdvanceEpoch(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("advance returned %d, want %d", got, want)
+		}
+		for _, st := range c.Controller().Status(ctx) {
+			if st.Err != nil {
+				t.Fatalf("%s: %v", st.Name, st.Err)
+			}
+			if st.Epoch != want || st.Fenced {
+				t.Fatalf("%s at epoch %d (fenced=%t), want %d unfenced", st.Name, st.Epoch, st.Fenced, want)
+			}
+		}
+	}
+}
+
+// TestAdvanceEpochUnreachableShard: a dead shard fails the barrier
+// before any fence goes up, and the survivors stay put.
+func TestAdvanceEpochUnreachableShard(t *testing.T) {
+	c := newCluster(t, "s0", "s1", "s2")
+	ctx := context.Background()
+	c.SetDown("s1", true)
+	if _, err := c.Controller().AdvanceEpoch(ctx); err == nil {
+		t.Fatal("barrier succeeded with a dead shard")
+	}
+	c.SetDown("s1", false)
+	for _, st := range c.Controller().Status(ctx) {
+		if st.Epoch != 0 || st.Fenced {
+			t.Fatalf("%s at epoch %d (fenced=%t) after failed barrier", st.Name, st.Epoch, st.Fenced)
+		}
+	}
+}
+
+// prepareRefuser wraps a shard's transport and fails only the prepare
+// POST — a shard that answers status but cannot hold up its half of the
+// barrier.
+type prepareRefuser struct {
+	inner http.RoundTripper
+}
+
+func (p *prepareRefuser) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Path == "/v1/epoch/prepare" {
+		return nil, fmt.Errorf("prepare refused by test")
+	}
+	return p.inner.RoundTrip(req)
+}
+
+// TestAdvanceEpochPrepareFailureAborts: when one shard's prepare fails,
+// the controller aborts every fence it did raise — all-or-nothing, the
+// fleet stays at the old epoch and keeps serving models.
+func TestAdvanceEpochPrepareFailureAborts(t *testing.T) {
+	c := newCluster(t, "s0", "s1", "s2")
+	ctx := context.Background()
+
+	refs := c.shardRefs()
+	broken := make([]ShardRef, len(refs))
+	for i, ref := range refs {
+		broken[i] = ref
+		if ref.Name == "s1" {
+			broken[i].Client = &atlasd.Client{
+				BaseURL:    ref.Client.BaseURL,
+				HTTPClient: &http.Client{Transport: &prepareRefuser{inner: ref.Client.HTTPClient.Transport}},
+			}
+		}
+	}
+	ctl := &Controller{Shards: func() []ShardRef { return broken }}
+
+	if _, err := ctl.AdvanceEpoch(ctx); err == nil {
+		t.Fatal("barrier succeeded with a failing prepare")
+	} else if !strings.Contains(err.Error(), "prepare(1) failed on s1") {
+		t.Fatalf("unexpected barrier error: %v", err)
+	}
+	for _, st := range c.Controller().Status(ctx) {
+		if st.Epoch != 0 {
+			t.Fatalf("%s advanced to %d through a failed barrier", st.Name, st.Epoch)
+		}
+		if st.Fenced {
+			t.Fatalf("%s left fenced after abort", st.Name)
+		}
+	}
+	// The fences are down: models serve immediately.
+	if _, err := c.resolve("s0").Model(ctx, landmarkID(t, c, 0)); err != nil {
+		t.Fatalf("model blocked after aborted barrier: %v", err)
+	}
+	// With the refuser out of the way the next barrier goes through.
+	if got, err := c.Controller().AdvanceEpoch(ctx); err != nil || got != 1 {
+		t.Fatalf("advance after abort: epoch %d, err %v", got, err)
+	}
+}
+
+// landmarkID returns the i-th landmark of the cluster's constellation.
+func landmarkID(t *testing.T, c *Cluster, i int) string {
+	t.Helper()
+	all := c.cons.All()
+	if i >= len(all) {
+		t.Fatalf("landmark index %d out of range %d", i, len(all))
+	}
+	return string(all[i].Host.ID)
+}
+
+// TestNoMixedEpochs: clients hammering the model endpoint through
+// repeated barriers each observe a non-decreasing epoch sequence, and
+// after AdvanceEpoch returns, every fetch sees the new epoch — no shard
+// ever serves a model fitted under a mix of epochs.
+func TestNoMixedEpochs(t *testing.T) {
+	c := newCluster(t, "s0", "s1", "s2")
+	ctx := context.Background()
+	cc := c.Client()
+	ids := make([]string, 8)
+	for i := range ids {
+		ids[i] = landmarkID(t, c, i)
+	}
+
+	stop := make(chan struct{})
+	errc := make(chan error, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			last := int64(-1)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m, err := cc.Model(ctx, ids[(g+i)%len(ids)])
+				if err != nil {
+					errc <- fmt.Errorf("fetcher %d: %w", g, err)
+					return
+				}
+				if m.Epoch < last {
+					errc <- fmt.Errorf("fetcher %d: epoch went backwards %d -> %d", g, last, m.Epoch)
+					return
+				}
+				last = m.Epoch
+			}
+		}(g)
+	}
+
+	for want := int64(1); want <= 3; want++ {
+		if got, err := c.Controller().AdvanceEpoch(ctx); err != nil || got != want {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("advance: epoch %d, err %v", got, err)
+		}
+		// The barrier has committed: every subsequent fetch is in the new
+		// epoch on every shard.
+		for _, id := range ids {
+			m, err := cc.Model(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Epoch != want {
+				t.Fatalf("model %s at epoch %d after barrier to %d", id, m.Epoch, want)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestEpochSkewRefused: the controller refuses to advance a fleet that
+// disagrees on the current epoch.
+func TestEpochSkewRefused(t *testing.T) {
+	c := newCluster(t, "s0", "s1")
+	ctx := context.Background()
+	if err := c.resolve("s1").EpochSync(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Controller().AdvanceEpoch(ctx)
+	if err == nil || !strings.Contains(err.Error(), "epochs diverge") {
+		t.Fatalf("skewed fleet advanced: %v", err)
+	}
+}
+
+// TestControllerStatusSorted: Status reports every member, sorted,
+// with reachability errors attached rather than fatal.
+func TestControllerStatusSorted(t *testing.T) {
+	c := newCluster(t, "s2", "s0", "s1")
+	ctx := context.Background()
+	c.SetDown("s1", true)
+	st := c.Controller().Status(ctx)
+	if len(st) != 3 {
+		t.Fatalf("status reported %d shards, want 3", len(st))
+	}
+	for i, want := range []string{"s0", "s1", "s2"} {
+		if st[i].Name != want {
+			t.Fatalf("status order %v", st)
+		}
+	}
+	if st[1].Err == nil {
+		t.Error("down shard reported no error")
+	}
+	if st[0].Err != nil || st[2].Err != nil {
+		t.Errorf("live shards reported errors: %v / %v", st[0].Err, st[2].Err)
+	}
+}
+
+// TestReplayLedgerIdempotent: replaying a drained shard's ledger twice
+// leaves the successors with exactly one copy of each report — the
+// (client, seq) dedupe makes replay safe to retry from any point.
+func TestReplayLedgerIdempotent(t *testing.T) {
+	c := newCluster(t, "s0", "s1", "s2")
+	ctx := context.Background()
+
+	// Ledger a few reports directly on s1.
+	src := c.resolve("s1")
+	for i := 0; i < 5; i++ {
+		rep := atlasd.Report{
+			Client:  fmt.Sprintf("replay-client-%d", i),
+			Seq:     1,
+			Samples: []atlasd.ReportSample{{LandmarkID: landmarkID(t, c, i), RTTms: 10}},
+		}
+		if err := src.Upload(ctx, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c.Ring().Remove("s1")
+	from := ShardRef{Name: "s1", Client: src}
+	for pass := 0; pass < 2; pass++ {
+		n, err := c.Controller().ReplayLedger(ctx, from, c.successorRefs, 0)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if n != 5 {
+			t.Fatalf("pass %d replayed %d, want 5", pass, n)
+		}
+	}
+
+	// Each report lives exactly once on its ring successor.
+	for i := 0; i < 5; i++ {
+		client := fmt.Sprintf("replay-client-%d", i)
+		owner := c.Ring().Owner(keyFor(client))
+		copies := 0
+		for _, rep := range c.Shard(owner).Reports() {
+			if rep.Client == client && rep.Seq == 1 {
+				copies++
+			}
+		}
+		if copies != 1 {
+			t.Errorf("successor %s holds %d copies of %s|1, want 1", owner, copies, client)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package constellation shards the atlasd coordination service into an
+// epoch-coordinated multi-process fleet (ROADMAP item 1, DESIGN.md
+// §13): landmarks and model caches partition across N shards by a
+// consistent-hash ring, a small controller drives a two-phase
+// fleet-wide epoch barrier over the existing wire surface, and a
+// sharding-aware client routes by ring position with failover to the
+// next ring successor and hedged phase-2 queries.
+//
+// The spine of the package is the determinism contract: the merged
+// logical transcript of thousands of clients driven across the
+// constellation — through shard drains, restarts and epoch advances —
+// must be byte-identical to a single-shard serial oracle. That holds
+// because every response is a pure function of (world seed, request):
+// landmark draws key netsim.HashID over the request, model fits are
+// deterministic functions of the calibration mesh, and ring placement
+// is a pure function of (ring seed, landmark ID). Which shard answers
+// is a routing detail; what it answers is not.
+package constellation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"activegeo/internal/netsim"
+)
+
+// DefaultVirtualNodes is the per-shard virtual-node count when a Ring
+// is built with vnodes <= 0: enough points that removing one shard
+// spreads its keys across all survivors in ~1/N slices, few enough
+// that ring rebuilds stay trivially cheap.
+const DefaultVirtualNodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// owned by a shard.
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Placement is a
+// pure function of (seed, shard name, vnode index) through
+// netsim.HashID, so two rings built from the same seed and membership
+// agree on every key regardless of the order shards were added — the
+// property that lets clients, shards and the controller each hold
+// their own Ring and still route identically.
+//
+// All methods are safe for concurrent use; Add and Remove rebuild the
+// point slice under the write lock.
+type Ring struct {
+	mu     sync.RWMutex
+	seed   int64
+	vnodes int
+	shards map[string]struct{}
+	points []ringPoint
+}
+
+// NewRing builds a ring over the given shards. vnodes <= 0 means
+// DefaultVirtualNodes.
+func NewRing(seed int64, vnodes int, shards ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{seed: seed, vnodes: vnodes, shards: make(map[string]struct{})}
+	for _, s := range shards {
+		r.shards[s] = struct{}{}
+	}
+	r.rebuild()
+	return r
+}
+
+// pointHash places one virtual node: a pure function of the ring seed,
+// the shard name and the vnode index, shared verbatim by every ring
+// holder.
+func pointHash(seed int64, shard string, vnode int) uint64 {
+	return netsim.HashID(netsim.HostID(fmt.Sprintf("ring|%d|%s|%d", seed, shard, vnode)))
+}
+
+// rebuild regenerates the sorted point slice from the member set.
+// Callers hold the write lock (or have exclusive access).
+func (r *Ring) rebuild() {
+	names := make([]string, 0, len(r.shards))
+	for s := range r.shards {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	r.points = r.points[:0]
+	for _, s := range names {
+		for v := 0; v < r.vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(r.seed, s, v), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties break by name so placement stays total-ordered.
+		return r.points[i].shard < r.points[j].shard
+	})
+}
+
+// Add inserts a shard (idempotent). Only keys whose owning arc the new
+// shard's virtual nodes split move — the ~K/N rebalance guarantee the
+// ring property tests pin down.
+func (r *Ring) Add(shard string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.shards[shard]; ok {
+		return
+	}
+	r.shards[shard] = struct{}{}
+	r.rebuild()
+}
+
+// Remove deletes a shard (idempotent); its keys redistribute to the
+// ring successors of each of its virtual nodes.
+func (r *Ring) Remove(shard string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.shards[shard]; !ok {
+		return
+	}
+	delete(r.shards, shard)
+	r.rebuild()
+}
+
+// Shards returns the member names in sorted order.
+func (r *Ring) Shards() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.shards))
+	for s := range r.shards {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.shards)
+}
+
+// Seed returns the placement seed the ring was built with.
+func (r *Ring) Seed() int64 { return r.seed }
+
+// VirtualNodes returns the per-shard virtual-node count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// find returns the index of the first point at or clockwise of the key
+// hash, wrapping at the top of the circle. Callers hold a lock and
+// have checked the ring is non-empty.
+func (r *Ring) find(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Owner returns the shard owning the key, or "" on an empty ring.
+func (r *Ring) Owner(key netsim.HostID) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.find(netsim.HashID(key))].shard
+}
+
+// Successors returns every member in ring order starting from the
+// key's owner: the failover preference list. Successors(k)[0] is
+// Owner(k); a request that gets 503 from order[i] moves to order[i+1].
+func (r *Ring) Successors(key netsim.HostID) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := r.find(netsim.HashID(key))
+	order := make([]string, 0, len(r.shards))
+	seen := make(map[string]struct{}, len(r.shards))
+	for i := 0; i < len(r.points) && len(order) < len(r.shards); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.shard]; dup {
+			continue
+		}
+		seen[p.shard] = struct{}{}
+		order = append(order, p.shard)
+	}
+	return order
+}
+
+// Partition counts how many of the given keys each shard owns —
+// the observability hook behind the ~K/N rebalance tests and the
+// per-shard ownership rows in BENCH_constellation.json.
+func (r *Ring) Partition(keys []netsim.HostID) map[string]int {
+	out := make(map[string]int, r.Size())
+	for _, k := range keys {
+		out[r.Owner(k)]++
+	}
+	return out
+}

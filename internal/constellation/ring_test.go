@@ -1,0 +1,149 @@
+package constellation
+
+import (
+	"fmt"
+	"testing"
+
+	"activegeo/internal/netsim"
+)
+
+func testKeys(n int) []netsim.HostID {
+	keys := make([]netsim.HostID, n)
+	for i := range keys {
+		keys[i] = netsim.HostID(fmt.Sprintf("key-%04d", i))
+	}
+	return keys
+}
+
+// TestRingPlacementOrderIndependent: two rings with the same seed and
+// membership agree on every key regardless of construction order —
+// clients, shards and the controller can each hold their own ring.
+func TestRingPlacementOrderIndependent(t *testing.T) {
+	a := NewRing(7, 32, "s0", "s1", "s2", "s3")
+	b := NewRing(7, 32, "s3", "s1")
+	b.Add("s0")
+	b.Add("s2")
+	b.Add("s2") // idempotent
+	for _, k := range testKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingSeedChangesPlacement: the seed is a real parameter — a
+// different seed produces a different partition.
+func TestRingSeedChangesPlacement(t *testing.T) {
+	a := NewRing(1, 32, "s0", "s1", "s2")
+	b := NewRing(2, 32, "s0", "s1", "s2")
+	moved := 0
+	keys := testKeys(500)
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("seed had no effect on placement")
+	}
+}
+
+// TestRingRebalanceBounds is the consistent-hash contract: removing a
+// shard moves ONLY its own keys (each to a surviving shard), and adding
+// it back restores the exact original placement. No key whose owner
+// survives ever moves.
+func TestRingRebalanceBounds(t *testing.T) {
+	keys := testKeys(2000)
+	r := NewRing(47, 64, "s0", "s1", "s2", "s3")
+	before := make(map[netsim.HostID]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	r.Remove("s2")
+	moved := 0
+	for _, k := range keys {
+		now := r.Owner(k)
+		if before[k] == "s2" {
+			if now == "s2" || now == "" {
+				t.Fatalf("key %s still owned by removed shard", k)
+			}
+			moved++
+		} else if now != before[k] {
+			t.Fatalf("key %s moved from surviving shard %s to %s", k, before[k], now)
+		}
+	}
+	// ~K/N of the keys belonged to s2; allow generous slack around 1/4.
+	if lo, hi := len(keys)/10, len(keys)/2; moved < lo || moved > hi {
+		t.Errorf("removal moved %d of %d keys; want roughly K/N (between %d and %d)", moved, len(keys), lo, hi)
+	}
+
+	r.Add("s2")
+	for _, k := range keys {
+		if r.Owner(k) != before[k] {
+			t.Fatalf("key %s not restored after re-add: %s vs %s", k, r.Owner(k), before[k])
+		}
+	}
+}
+
+// TestRingSuccessors: the failover list starts at the owner, covers
+// every member exactly once, and drops a removed member while
+// preserving the relative order of the rest.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(47, 32, "s0", "s1", "s2", "s3")
+	for _, k := range testKeys(200) {
+		order := r.Successors(k)
+		if len(order) != 4 {
+			t.Fatalf("key %s: %d successors, want 4", k, len(order))
+		}
+		if order[0] != r.Owner(k) {
+			t.Fatalf("key %s: successors[0]=%s, owner=%s", k, order[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range order {
+			if seen[s] {
+				t.Fatalf("key %s: duplicate successor %s", k, s)
+			}
+			seen[s] = true
+		}
+	}
+
+	k := netsim.HostID("key-0001")
+	full := r.Successors(k)
+	r.Remove(full[1])
+	after := r.Successors(k)
+	if len(after) != 3 {
+		t.Fatalf("after removal: %d successors, want 3", len(after))
+	}
+	want := []string{full[0], full[2], full[3]}
+	for i := range want {
+		if after[i] != want[i] {
+			t.Fatalf("successor order changed after removal: %v vs %v (from %v)", after, want, full)
+		}
+	}
+}
+
+// TestRingPartitionSpread: with enough virtual nodes every shard owns a
+// non-trivial share of a large key set.
+func TestRingPartitionSpread(t *testing.T) {
+	keys := testKeys(4000)
+	r := NewRing(47, 64, "s0", "s1", "s2", "s3")
+	part := r.Partition(keys)
+	for _, s := range r.Shards() {
+		n := part[s]
+		if n < len(keys)/16 {
+			t.Errorf("shard %s owns only %d of %d keys", s, n, len(keys))
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring routes nowhere and says so.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(47, 8)
+	if o := r.Owner("k"); o != "" {
+		t.Errorf("empty ring owner = %q", o)
+	}
+	if s := r.Successors("k"); s != nil {
+		t.Errorf("empty ring successors = %v", s)
+	}
+}

@@ -1,0 +1,53 @@
+package constellation
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/atlasd"
+	"activegeo/internal/cbg"
+	"activegeo/internal/geo"
+	"activegeo/internal/netsim"
+)
+
+const testClients = 8
+
+var (
+	fixOnce  sync.Once
+	fixCons  *atlas.Constellation
+	fixHosts []netsim.HostID
+)
+
+// world builds one simulated constellation plus vantage hosts, shared
+// by every test in the package.
+func world(t *testing.T) (*atlas.Constellation, []netsim.HostID) {
+	t.Helper()
+	fixOnce.Do(func() {
+		net := netsim.New(47)
+		rng := rand.New(rand.NewSource(47))
+		cons, err := atlas.Build(net, atlas.Config{Anchors: 30, Probes: 20, SamplesPerPair: 3}, rng)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < testClients; i++ {
+			id := netsim.HostID(fmt.Sprintf("cl-client-%04d", i))
+			loc := geo.Point{Lat: -55 + 120*rng.Float64(), Lon: -175 + 350*rng.Float64()}
+			if err := net.AddHost(&netsim.Host{ID: id, Loc: loc}); err != nil {
+				panic(err)
+			}
+			fixHosts = append(fixHosts, id)
+		}
+		fixCons = cons
+	})
+	return fixCons, fixHosts
+}
+
+func newCluster(t *testing.T, shards ...string) *Cluster {
+	t.Helper()
+	cons, _ := world(t)
+	base := atlasd.Config{Seed: 47, Opts: cbg.Options{Slowline: true}}
+	return NewCluster(cons, base, shards, 47, 16)
+}

@@ -1,0 +1,263 @@
+package loadgen
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"activegeo/internal/atlasd"
+	"activegeo/internal/mathx"
+	"activegeo/internal/measure"
+	"activegeo/internal/netsim"
+	"activegeo/internal/telemetry"
+)
+
+// The cluster runner drives clients through an atlasd.Coordinator —
+// one server or a whole constellation — and records each client's
+// *logical* transcript: a sha256 over the content of every successful
+// call result, in issue order, at the coordination-API layer.
+//
+// The single-server Runner hashes raw HTTP traffic, which is the right
+// proof when the topology is fixed. Across a constellation the raw
+// traffic is topology-dependent by construction — failover re-issues
+// requests to successors, hedges race duplicates, drains move routes —
+// while the *results* must not be. So the cluster contract hashes what
+// a campaign learns, not how it learned it:
+//
+//   - landmark lists: every field of every landmark, in served order;
+//   - models: landmark, slope, intercept, pooled — but not the epoch
+//     stamp, which says *when* the fleet last refreshed, not *what*
+//     the model is (the fit is a pure function of the calibration
+//     mesh, so a mid-run epoch advance refits to identical lines);
+//   - reports: the exact samples uploaded and the acknowledgement.
+//
+// A multi-shard concurrent run through drains and epoch advances must
+// hash byte-identical to the single-shard serial oracle — the property
+// `benchaudit -mode constellation` and the chaos soak enforce.
+
+// ClusterConfig shapes one cluster load-generation run.
+type ClusterConfig struct {
+	// Clients is the number of closed-loop clients (default 1).
+	Clients int
+	// Iterations is the number of two-phase campaigns per client
+	// (default 1).
+	Iterations int
+	// SecondPhase is the phase-2 landmark count per campaign
+	// (default 10).
+	SecondPhase int
+	// Concurrency bounds how many clients run at once; 0 means all.
+	// Concurrency 1 is the serial oracle.
+	Concurrency int
+	// Seed derives every client's measurement-noise stream.
+	Seed int64
+	// SeqBase offsets every campaign's report sequence number:
+	// campaign i uploads under SeqBase+i+1. Successive rounds of a
+	// long soak use disjoint SeqBase ranges so their (client, seq)
+	// ledger keys never collide.
+	SeqBase int64
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Clients < 1 {
+		c.Clients = 1
+	}
+	if c.Iterations < 1 {
+		c.Iterations = 1
+	}
+	if c.SecondPhase < 1 {
+		c.SecondPhase = 10
+	}
+	if c.Concurrency < 1 || c.Concurrency > c.Clients {
+		c.Concurrency = c.Clients
+	}
+	return c
+}
+
+// ClusterRunner binds a cluster load run to a coordination plane and a
+// measurement world.
+type ClusterRunner struct {
+	// Coordinator is the coordination plane — *atlasd.Client for one
+	// server, *constellation.Client for a sharded fleet. It must be
+	// safe for concurrent use.
+	Coordinator atlasd.Coordinator
+	// Tool measures RTTs in the simulated world.
+	Tool measure.Tool
+	// Hosts are the vantage points; client i measures from
+	// Hosts[i%len(Hosts)].
+	Hosts []netsim.HostID
+	// Telemetry, when non-nil, receives per-op latency observations
+	// under "loadgen.cluster.op_ms".
+	Telemetry *telemetry.Collector
+}
+
+// Run executes one cluster load-generation run.
+func (r *ClusterRunner) Run(ctx context.Context, cfg ClusterConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(r.Hosts) == 0 {
+		return nil, errors.New("loadgen: no vantage hosts")
+	}
+	stats := make([]ClientStats, cfg.Clients)
+	lats := make([][]float64, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+
+	start := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				stats[i], lats[i], errs[i] = r.runClusterClient(ctx, cfg, i)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wallMs := float64(time.Since(start).Microseconds()) / 1000
+
+	res := &Result{PerClient: stats, WallMs: wallMs}
+	var lat []float64
+	for i, st := range stats {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("loadgen: client %s: %w", st.Client, errs[i])
+		}
+		res.Campaigns += st.Campaigns
+		res.Ops += st.Ops
+		res.AcceptedReports += len(st.AcceptedSeqs)
+		lat = append(lat, lats[i]...)
+	}
+	if wallMs > 0 {
+		res.ThroughputOps = float64(res.Ops) / (wallMs / 1000)
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		res.P50Ms = mathx.Quantile(lat, 0.50)
+		res.P99Ms = mathx.Quantile(lat, 0.99)
+	}
+	return res, nil
+}
+
+// runClusterClient walks one client through its campaigns behind a
+// transcript-hashing decorator.
+func (r *ClusterRunner) runClusterClient(ctx context.Context, cfg ClusterConfig, i int) (ClientStats, []float64, error) {
+	from := r.Hosts[i%len(r.Hosts)]
+	tc := &transcriptCoordinator{inner: r.Coordinator, h: sha256.New(), tel: r.Telemetry}
+	st := ClientStats{Client: string(from)}
+	rng := rand.New(rand.NewSource(measure.StreamSeed(cfg.Seed, from)))
+	clk := &netsim.Clock{}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		seq := cfg.SeqBase + int64(it+1)
+		res, err := atlasd.RemoteTwoPhase(ctx, tc, r.Tool, from, cfg.SecondPhase, seq, rng)
+		if err != nil {
+			var he *atlasd.HTTPError
+			if errors.As(err, &he) && he.Status == http.StatusServiceUnavailable {
+				st.DrainStopped = true
+				break
+			}
+			return st, tc.latMs, err
+		}
+		st.Campaigns++
+		for _, s := range res.Samples() {
+			clk.Advance(s.RTTms)
+		}
+		if res.Accepted {
+			st.AcceptedSeqs = append(st.AcceptedSeqs, res.Seq)
+		}
+	}
+	st.Ops = tc.ops
+	st.SimMs = clk.NowMs()
+	st.TranscriptSHA = hex.EncodeToString(tc.h.Sum(nil))
+	return st, tc.latMs, nil
+}
+
+// transcriptCoordinator decorates a Coordinator with the logical
+// transcript hash: every successful result is appended to the hash in
+// a canonical encoding, in issue order. It is used by exactly one
+// client goroutine, so it needs no locking.
+type transcriptCoordinator struct {
+	inner atlasd.Coordinator
+	h     hash.Hash
+	ops   int
+	latMs []float64
+	tel   *telemetry.Collector
+}
+
+func (t *transcriptCoordinator) observe(start time.Time) {
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	t.latMs = append(t.latMs, ms)
+	t.tel.Observe("loadgen.cluster.op_ms", ms)
+	t.ops++
+}
+
+// writeLandmarks appends a served landmark list to the transcript.
+// %v prints the shortest exact float64 representation, so the encoding
+// is canonical and lossless.
+func (t *transcriptCoordinator) writeLandmarks(lms []atlasd.LandmarkInfo) {
+	for _, lm := range lms {
+		fmt.Fprintf(t.h, "lm %s %s %v %v %s %t\n", lm.ID, lm.Addr, lm.Lat, lm.Lon, lm.Continent, lm.Anchor)
+	}
+}
+
+func (t *transcriptCoordinator) Phase1Landmarks(ctx context.Context, draw string) ([]atlasd.LandmarkInfo, error) {
+	start := time.Now()
+	lms, err := t.inner.Phase1Landmarks(ctx, draw)
+	if err != nil {
+		return nil, err
+	}
+	t.observe(start)
+	fmt.Fprintf(t.h, "phase1 %s\n", draw)
+	t.writeLandmarks(lms)
+	return lms, nil
+}
+
+func (t *transcriptCoordinator) Phase2Landmarks(ctx context.Context, continent string, n int, draw string) ([]atlasd.LandmarkInfo, error) {
+	start := time.Now()
+	lms, err := t.inner.Phase2Landmarks(ctx, continent, n, draw)
+	if err != nil {
+		return nil, err
+	}
+	t.observe(start)
+	fmt.Fprintf(t.h, "phase2 %s %d %s\n", continent, n, draw)
+	t.writeLandmarks(lms)
+	return lms, nil
+}
+
+func (t *transcriptCoordinator) Model(ctx context.Context, landmarkID string) (*atlasd.ModelInfo, error) {
+	start := time.Now()
+	m, err := t.inner.Model(ctx, landmarkID)
+	if err != nil {
+		return nil, err
+	}
+	t.observe(start)
+	// The epoch stamp is deliberately excluded: it records *when* the
+	// fleet last refreshed, and the determinism contract must hold
+	// across a mid-run epoch advance (same mesh → same fit).
+	fmt.Fprintf(t.h, "model %s %v %v %t\n", m.LandmarkID, m.SlopeMsPerKm, m.InterceptMs, m.Pooled)
+	return m, nil
+}
+
+func (t *transcriptCoordinator) Upload(ctx context.Context, rep atlasd.Report) error {
+	start := time.Now()
+	if err := t.inner.Upload(ctx, rep); err != nil {
+		return err
+	}
+	t.observe(start)
+	fmt.Fprintf(t.h, "report %s %d %d\n", rep.Client, rep.Seq, len(rep.Samples))
+	for _, s := range rep.Samples {
+		fmt.Fprintf(t.h, "s %s %v\n", s.LandmarkID, s.RTTms)
+	}
+	return nil
+}

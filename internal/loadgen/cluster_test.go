@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"context"
+	"crypto/sha256"
+	"net/http"
+	"testing"
+
+	"activegeo/internal/atlas"
+	"activegeo/internal/atlasd"
+	"activegeo/internal/cbg"
+	"activegeo/internal/constellation"
+	"activegeo/internal/measure"
+	"activegeo/internal/netsim"
+)
+
+func newClusterRunner(cons *atlas.Constellation, hosts []netsim.HostID, co atlasd.Coordinator) *ClusterRunner {
+	return &ClusterRunner{
+		Coordinator: co,
+		Tool:        &measure.CLITool{Net: cons.Net()},
+		Hosts:       hosts,
+	}
+}
+
+func newTestCluster(cons *atlas.Constellation, shards ...string) *constellation.Cluster {
+	base := atlasd.Config{Seed: 47, Opts: cbg.Options{Slowline: true}}
+	return constellation.NewCluster(cons, base, shards, 47, 16)
+}
+
+// TestClusterSerialMatchesSingleShard pins the oracle itself: a
+// 1-shard serial run through the constellation client must match a
+// 1-shard serial run through a plain atlasd client — the sharding
+// layer adds routing, not answers.
+func TestClusterSerialMatchesSingleShard(t *testing.T) {
+	cons, hosts := world(t)
+	ctx := context.Background()
+	cfg := ClusterConfig{Clients: 8, Iterations: 2, SecondPhase: 6, Concurrency: 1, Seed: 47}
+
+	one := newTestCluster(cons, "s0")
+	oc := one.Client()
+	oc.NoHedge = true
+	oracle, err := newClusterRunner(cons, hosts[:8], oc).Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := newServer(cons, 0)
+	plainClient := &atlasd.Client{
+		BaseURL:    "http://atlasd.inproc",
+		HTTPClient: &http.Client{Transport: &opRecorder{hash: sha256.New(), handler: srv.Handler()}},
+	}
+	direct, err := newClusterRunner(cons, hosts[:8], plainClient).Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !TranscriptsIdentical(oracle, direct) {
+		t.Fatal("1-shard constellation serial run diverged from a plain single server")
+	}
+}
+
+// TestClusterConcurrentMatchesSerialOracle is the tentpole determinism
+// claim in miniature: all clients driven concurrently across a 3-shard
+// constellation (hedging on) produce transcripts byte-identical to the
+// 1-shard serial oracle (hedging off).
+func TestClusterConcurrentMatchesSerialOracle(t *testing.T) {
+	cons, hosts := world(t)
+	ctx := context.Background()
+
+	oracleCluster := newTestCluster(cons, "s0")
+	oc := oracleCluster.Client()
+	oc.NoHedge = true
+	cfgSerial := ClusterConfig{Clients: soakClients, Iterations: 2, SecondPhase: 8, Concurrency: 1, Seed: 47}
+	oracle, err := newClusterRunner(cons, hosts, oc).Run(ctx, cfgSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fleet := newTestCluster(cons, "s0", "s1", "s2")
+	cfg := cfgSerial
+	cfg.Concurrency = 0 // all at once
+	res, err := newClusterRunner(cons, hosts, fleet.Client()).Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !TranscriptsIdentical(oracle, res) {
+		for i := range oracle.PerClient {
+			if oracle.PerClient[i].TranscriptSHA != res.PerClient[i].TranscriptSHA {
+				t.Errorf("client %s transcript diverged across the constellation",
+					oracle.PerClient[i].Client)
+			}
+		}
+		t.Fatal("3-shard concurrent run is not byte-identical to the 1-shard serial oracle")
+	}
+	if oracle.Campaigns != res.Campaigns || oracle.AcceptedReports != res.AcceptedReports {
+		t.Errorf("oracle %d/%d vs fleet %d/%d campaigns/accepted",
+			oracle.Campaigns, oracle.AcceptedReports, res.Campaigns, res.AcceptedReports)
+	}
+	for i := range oracle.PerClient {
+		if oracle.PerClient[i].SimMs != res.PerClient[i].SimMs {
+			t.Errorf("client %s sim time %v vs %v", oracle.PerClient[i].Client,
+				oracle.PerClient[i].SimMs, res.PerClient[i].SimMs)
+		}
+	}
+
+	// The partition did its job: the fitting work spread across shards
+	// (not all on one), and the fleet as a whole fitted each landmark at
+	// most once (plus per-shard pooled fallbacks).
+	var fits int64
+	fitting := 0
+	for _, name := range fleet.Members() {
+		m := fleet.Shard(name).Metrics()
+		if m.ModelCache.Fits > 0 {
+			fitting++
+		}
+		fits += m.ModelCache.Fits
+	}
+	if fitting < 2 {
+		t.Errorf("only %d shard(s) fitted models; partition is not spreading", fitting)
+	}
+	if maxFits := int64(len(cons.All()) + len(fleet.Members())); fits > maxFits {
+		t.Errorf("fleet fits = %d, want ≤ %d (each landmark fitted on one shard)", fits, maxFits)
+	}
+}
+
+// TestClusterSeqBaseDisjointLedgers runs two rounds with disjoint
+// SeqBase ranges and checks the merged ledger holds every receipt from
+// both rounds exactly once — the chaos soak's round protocol.
+func TestClusterSeqBaseDisjointLedgers(t *testing.T) {
+	cons, hosts := world(t)
+	ctx := context.Background()
+	fleet := newTestCluster(cons, "s0", "s1")
+	r := newClusterRunner(cons, hosts[:4], fleet.Client())
+
+	var accepted int
+	for round := 0; round < 2; round++ {
+		cfg := ClusterConfig{Clients: 4, Iterations: 2, SecondPhase: 5, Seed: 47, SeqBase: int64(round * 100)}
+		res, err := r.Run(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted += res.AcceptedReports
+	}
+	merged := fleet.MergedLedger()
+	if len(merged) != accepted {
+		t.Fatalf("merged ledger holds %d keys, want %d receipts", len(merged), accepted)
+	}
+	for key, holders := range merged {
+		for shard, n := range holders {
+			if n != 1 {
+				t.Errorf("shard %s holds %d copies of %s", shard, n, key)
+			}
+		}
+	}
+}
