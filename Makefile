@@ -20,13 +20,14 @@
 #   make bench-faults  robustness sweep: tallies vs injected loss -> BENCH_faults.json
 #   make bench-atlasd  32-client coordination-service load test -> BENCH_atlasd.json
 #   make bench-stream  streaming-audit parity + 100k bounded-memory run -> BENCH_stream.json
+#   make bench-adversary  attack-matrix detection floors (precision/recall) -> BENCH_adversary.json
 #   make bench-constellation  sharded-fleet determinism proof -> BENCH_constellation.json
 
 GO ?= go
 FUZZTIME ?= 30s
 COVER_FLOOR ?= 85.0
 
-.PHONY: all vet lint lint-json lint-fix-check vuln build test race race-smoke soak soak-constellation fuzz-smoke cover ci ci-fast ci-deep ci-local benchcompile fmtcheck bench-audit bench-locate bench-faults bench-atlasd bench-stream bench-constellation clean
+.PHONY: all vet lint lint-json lint-fix-check vuln build test race race-smoke soak soak-constellation fuzz-smoke cover ci ci-fast ci-deep ci-local benchcompile fmtcheck bench-audit bench-locate bench-faults bench-atlasd bench-stream bench-adversary bench-constellation clean
 
 all: ci
 
@@ -113,12 +114,15 @@ fuzz-smoke:
 
 # Coverage floor on the service packages: the coordination server and
 # the load generator are concurrency-heavy, so untested branches there
-# are where the races and drain bugs hide. Profiles are left on disk
-# (cover_atlasd.out, cover_loadgen.out) for CI to archive.
+# are where the races and drain bugs hide; the detection package holds
+# the adversary verdict logic, where an untested branch is a blind spot
+# an attacker sits in. Profiles are left on disk (cover_atlasd.out,
+# cover_loadgen.out, cover_detect.out) for CI to archive.
 cover:
 	$(GO) test -coverprofile=cover_atlasd.out ./internal/atlasd
 	$(GO) test -coverprofile=cover_loadgen.out ./internal/loadgen
-	@for f in cover_atlasd.out cover_loadgen.out; do \
+	$(GO) test -coverprofile=cover_detect.out ./internal/detect
+	@for f in cover_atlasd.out cover_loadgen.out cover_detect.out; do \
 		total=$$($(GO) tool cover -func=$$f | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 		echo "$$f: total coverage $$total% (floor $(COVER_FLOOR)%)"; \
 		if [ "$$(awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { print (t+0 >= floor+0) }')" != "1" ]; then \
@@ -144,7 +148,7 @@ fmtcheck:
 # proof, which CI runs as a second job gated on the fast lane.
 ci-fast: vet lint lint-fix-check build test fmtcheck
 
-ci-deep: benchcompile race-smoke soak cover fuzz-smoke bench-constellation
+ci-deep: benchcompile race-smoke soak cover fuzz-smoke bench-adversary bench-constellation
 
 ci: ci-fast ci-deep
 
@@ -190,6 +194,15 @@ STREAM_SERVERS ?= 100000
 bench-stream:
 	$(GO) run ./cmd/benchaudit -mode stream -servers $(STREAM_SERVERS) -out BENCH_stream.json
 
+# Adversary detection floors: the full audit under every point of the
+# default attack matrix (lying proxies, Byzantine landmarks, blends and
+# an all-honest control), serially and at the machine's width on fresh
+# labs. Aborts non-zero unless the two sweeps are byte-identical and
+# the pooled detection quality clears precision ≥ 0.9 / recall ≥ 0.8,
+# recorded in BENCH_adversary.json (DESIGN.md §14).
+bench-adversary:
+	$(GO) run ./cmd/benchaudit -mode adversary -out BENCH_adversary.json
+
 # Cross-shard determinism proof (DESIGN.md §13): 1200 clients across a
 # 4-shard epoch-coordinated constellation — ring routing, failover,
 # hedged phase-2 queries, a mid-run shard drain and an epoch barrier —
@@ -199,6 +212,6 @@ bench-constellation:
 	$(GO) run ./cmd/benchaudit -mode constellation -out BENCH_constellation.json
 
 clean:
-	rm -f BENCH_audit.json BENCH_locate.json BENCH_faults.json BENCH_atlasd.json BENCH_stream.json BENCH_constellation.json
-	rm -f cover_atlasd.out cover_loadgen.out
+	rm -f BENCH_audit.json BENCH_locate.json BENCH_faults.json BENCH_atlasd.json BENCH_stream.json BENCH_adversary.json BENCH_constellation.json
+	rm -f cover_atlasd.out cover_loadgen.out cover_detect.out
 	$(GO) clean ./...

@@ -54,6 +54,18 @@
 // through the churn. Throughput, failover/hedge counts, the ring
 // partition and per-shard fit counts go to BENCH_constellation.json.
 //
+// Mode "adversary" scores the detection layer against the default
+// attack matrix (experiments.DefaultAttackMatrix): the full audit runs
+// under every attack point — lying proxies, Byzantine landmarks, blends
+// and an all-honest control — at the fixed benchmark scale
+// (experiments.AdversaryBenchConfig), once serially and once at the
+// machine's width on fresh labs. The run aborts with a non-zero exit
+// unless the two sweeps' fingerprints (every per-point audit SHA and
+// confusion matrix) are byte-identical, and unless the pooled detection
+// quality clears the CI floors: precision ≥ 0.9 and recall ≥ 0.8.
+// Per-point confusion matrices and the pooled scores go to
+// BENCH_adversary.json.
+//
 // Mode "atlasd" load-tests the coordination service (DESIGN.md §11):
 // 32 closed-loop clients run the full phase1→phase2→model→report
 // campaign against an in-process server, once serially and once fully
@@ -841,6 +853,135 @@ func runStream(scale string, cfg experiments.Config, synthServers int, out strin
 	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 }
 
+type adversaryPointRow struct {
+	Name             string  `json:"name"`
+	Attack           string  `json:"attack"`
+	ProxyFraction    float64 `json:"proxy_fraction"`
+	Aggressiveness   float64 `json:"aggressiveness"`
+	ByzantineFrac    float64 `json:"byzantine_fraction"`
+	DetectOnly       bool    `json:"detect_only"`
+	TP               int     `json:"tp"`
+	FP               int     `json:"fp"`
+	FN               int     `json:"fn"`
+	TN               int     `json:"tn"`
+	Unscored         int     `json:"unscored"`
+	LandmarkTP       int     `json:"landmark_tp"`
+	LandmarkFP       int     `json:"landmark_fp"`
+	LandmarkFN       int     `json:"landmark_fn"`
+	SuspectedServers int     `json:"suspected_servers"`
+	FlaggedLandmarks int     `json:"flagged_landmarks"`
+	ExcludedMeas     int     `json:"excluded_measurements"`
+	AuditSHA         string  `json:"audit_sha256"`
+}
+
+type adversaryReport struct {
+	Config  string `json:"config"`
+	Cores   int    `json:"cores"`
+	Servers int    `json:"servers"`
+	Anchors int    `json:"anchors"`
+
+	Points []adversaryPointRow `json:"points"`
+
+	Precision         float64 `json:"precision"`
+	Recall            float64 `json:"recall"`
+	ProxyPrecision    float64 `json:"proxy_precision"`
+	ProxyRecall       float64 `json:"proxy_recall"`
+	LandmarkPrecision float64 `json:"landmark_precision"`
+	LandmarkRecall    float64 `json:"landmark_recall"`
+
+	PrecisionFloor float64 `json:"precision_floor"`
+	RecallFloor    float64 `json:"recall_floor"`
+	FloorsCleared  bool    `json:"floors_cleared"`
+
+	SerialWallMs          float64 `json:"serial_wall_ms"`
+	ParallelWallMs        float64 `json:"parallel_wall_ms"`
+	ParallelWorkers       int     `json:"parallel_workers"`
+	FingerprintsIdentical bool    `json:"fingerprints_identical"`
+}
+
+func runAdversary(out string) {
+	const precisionFloor, recallFloor = 0.9, 0.8
+	cfg := experiments.AdversaryBenchConfig()
+	sweepAt := func(workers int) (*experiments.AdversaryResult, int, int, time.Duration) {
+		c := cfg
+		c.Concurrency = workers
+		lab, err := experiments.NewLab(c)
+		if err != nil {
+			log.Fatalf("building lab (%d workers): %v", workers, err)
+		}
+		start := time.Now()
+		res, err := lab.AdversarySweep(nil)
+		if err != nil {
+			log.Fatalf("adversary sweep (%d workers): %v", workers, err)
+		}
+		return res, len(lab.Fleet.Servers()), len(lab.Cons.Anchors()), time.Since(start)
+	}
+
+	serial, servers, anchors, serialWall := sweepAt(1)
+	fmt.Fprintf(os.Stderr, "serial (1 worker):    %d attack points in %v\n", len(serial.Points), serialWall.Round(time.Millisecond))
+	workers := runtime.GOMAXPROCS(0)
+	parallel, _, _, parWall := sweepAt(workers)
+	fmt.Fprintf(os.Stderr, "parallel (%d workers): %d attack points in %v\n", workers, len(parallel.Points), parWall.Round(time.Millisecond))
+
+	if serial.Fingerprint() != parallel.Fingerprint() {
+		log.Fatalf("determinism violation: adversary sweeps differ across concurrency\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.Fingerprint(), parallel.Fingerprint())
+	}
+	fmt.Fprint(os.Stderr, serial.Render())
+
+	rep := adversaryReport{
+		Config:  "bench",
+		Cores:   runtime.NumCPU(),
+		Servers: servers,
+		Anchors: anchors,
+
+		Precision:         serial.Precision,
+		Recall:            serial.Recall,
+		ProxyPrecision:    serial.ProxyPrecision,
+		ProxyRecall:       serial.ProxyRecall,
+		LandmarkPrecision: serial.LandmarkPrecision,
+		LandmarkRecall:    serial.LandmarkRecall,
+
+		PrecisionFloor: precisionFloor,
+		RecallFloor:    recallFloor,
+		FloorsCleared:  serial.Precision >= precisionFloor && serial.Recall >= recallFloor,
+
+		SerialWallMs:          float64(serialWall.Microseconds()) / 1000,
+		ParallelWallMs:        float64(parWall.Microseconds()) / 1000,
+		ParallelWorkers:       workers,
+		FingerprintsIdentical: true,
+	}
+	for _, pt := range serial.Points {
+		rep.Points = append(rep.Points, adversaryPointRow{
+			Name:             pt.Name,
+			Attack:           pt.Plan.Attack.String(),
+			ProxyFraction:    pt.Plan.ProxyFraction,
+			Aggressiveness:   pt.Plan.Aggressiveness,
+			ByzantineFrac:    pt.Plan.ByzantineFraction,
+			DetectOnly:       pt.Plan.DetectOnly,
+			TP:               pt.TP,
+			FP:               pt.FP,
+			FN:               pt.FN,
+			TN:               pt.TN,
+			Unscored:         pt.Unscored,
+			LandmarkTP:       pt.LandmarkTP,
+			LandmarkFP:       pt.LandmarkFP,
+			LandmarkFN:       pt.LandmarkFN,
+			SuspectedServers: pt.SuspectedServers,
+			FlaggedLandmarks: pt.FlaggedLandmarks,
+			ExcludedMeas:     pt.ExcludedMeasurements,
+			AuditSHA:         pt.AuditSHA,
+		})
+	}
+	writeJSON(out, rep)
+	if !rep.FloorsCleared {
+		log.Fatalf("detection floors violated: precision %.3f (floor %.2f), recall %.3f (floor %.2f)",
+			rep.Precision, precisionFloor, rep.Recall, recallFloor)
+	}
+	fmt.Fprintf(os.Stderr, "precision %.3f ≥ %.2f, recall %.3f ≥ %.2f; fingerprints identical; wrote %s\n",
+		rep.Precision, precisionFloor, rep.Recall, recallFloor, out)
+}
+
 type constellationReport struct {
 	Config     string `json:"config"`
 	Cores      int    `json:"cores"`
@@ -1102,7 +1243,7 @@ func writeJSON(path string, v any) {
 }
 
 func main() {
-	mode := flag.String("mode", "audit", "what to benchmark: audit, locate, faults, stream, atlasd or constellation")
+	mode := flag.String("mode", "audit", "what to benchmark: audit, locate, faults, stream, adversary, atlasd or constellation")
 	scale := flag.String("scale", "quick", "audit scale: quick or paper")
 	out := flag.String("out", "", "output JSON path (default BENCH_<mode>.json)")
 	synthServers := flag.Int("servers", 100_000, "synthetic fleet size for -mode stream")
@@ -1139,6 +1280,11 @@ func main() {
 			*out = "BENCH_stream.json"
 		}
 		runStream(*scale, cfg, *synthServers, *out)
+	case "adversary":
+		if *out == "" {
+			*out = "BENCH_adversary.json"
+		}
+		runAdversary(*out)
 	case "atlasd":
 		if *out == "" {
 			*out = "BENCH_atlasd.json"

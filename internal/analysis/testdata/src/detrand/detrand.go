@@ -72,3 +72,27 @@ func outageWindowStart(seed int64, id string, horizonMs uint64) uint64 {
 	}
 	return h % horizonMs
 }
+
+// Adversary shapes (DESIGN.md §14). A lying proxy's forged padding
+// must be a pure function of (plan seed, proxy ID, landmark ID);
+// drawing it from the global source would make which measurements are
+// forged depend on worker interleaving, so the detection sweep could
+// never be scored deterministically.
+func forgedPaddingGlobal(maxMs int) int {
+	return rand.Intn(maxMs) // want "global math/rand.Intn"
+}
+
+// Selecting which fleet members lie by a hard-seeded private stream
+// would pin the liar set across every plan seed — the control point
+// and the attack points would corrupt each other.
+func liarSelectionHardSeed(n int) []int {
+	rng := rand.New(rand.NewSource(13)) // want "hard-coded seed"
+	return rng.Perm(n)
+}
+
+// forgedPaddingFromPlan is the approved shape: the adversary draws
+// from a stream derived from the plan's own seed and the entity pair,
+// so the same plan forges the same bytes at any concurrency.
+func forgedPaddingFromPlan(rng *rand.Rand, aggressiveness float64, maxMs float64) float64 {
+	return aggressiveness * maxMs * rng.Float64()
+}

@@ -54,3 +54,23 @@ func (c *simClock) Advance(ms float64) { c.ms += ms }
 func backoffOnSimClock(c *simClock, attempt int) {
 	c.Advance(float64(int64(250) << uint(attempt)))
 }
+
+// Adversary shapes (DESIGN.md §14). A Byzantine landmark that jitters
+// its forged report off the wall clock would make the attack — and
+// therefore the detection score — unreproducible; the forged bias must
+// ride the simulated timeline like every honest RTT.
+func forgedReportJitterWallClock() float64 {
+	return float64(time.Now().UnixNano()%5) * 0.1 // want "wall-clock read time.Now"
+}
+
+// Holding back a decoy proxy's response with a real timer stalls the
+// worker pool and couples the decoy's apparent RTT to host scheduling.
+func decoyHoldByWallClock(ms int) {
+	time.Sleep(time.Duration(ms) * time.Millisecond) // want "wall-clock read time.Sleep"
+}
+
+// decoyHoldOnSimClock is the sanctioned shape: the decoy's fabricated
+// delay advances the simulated clock, byte-identical at any width.
+func decoyHoldOnSimClock(c *simClock, fabricatedMs float64) {
+	c.Advance(fabricatedMs)
+}

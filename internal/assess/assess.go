@@ -130,6 +130,20 @@ type Result struct {
 	ProbableCountry string
 	// Candidates is every country the region overlaps, sorted.
 	Candidates []string
+
+	// ManipulationSuspected is the adversary-detection verdict dimension:
+	// the measurement pattern of this server looks manipulated (decoy
+	// rewrite, selective inflation/deflation or a constant shift). It is
+	// orthogonal to the claim verdict — a manipulated server's claim can
+	// still be classified, but the classification shouldn't be trusted.
+	// Only set when the detection layer runs (the adversary plan is
+	// armed); plain audits leave all three fields zero.
+	ManipulationSuspected bool
+	// ManipulationScore is the strongest detector's signal-to-threshold
+	// ratio (>1 means suspected).
+	ManipulationScore float64
+	// ManipulationReasons names the tripped detectors in canonical order.
+	ManipulationReasons []string
 }
 
 // Assess produces the raw (pre-metadata) assessment for one server.

@@ -9,7 +9,9 @@ import (
 
 	"activegeo/internal/assess"
 	"activegeo/internal/datacenter"
+	"activegeo/internal/detect"
 	"activegeo/internal/geo"
+	"activegeo/internal/geoloc"
 	"activegeo/internal/grid"
 	"activegeo/internal/iclab"
 	"activegeo/internal/ipdb"
@@ -170,6 +172,25 @@ type AuditRun struct {
 	LostLandmarks   int
 	Disconnects     int
 	DegradedServers int // servers whose confidence is not "full"
+
+	// Adversary-detection outputs. Only populated when the lab's
+	// adversary plan is armed: on the honest path every field below is
+	// zero and the audit output is byte-identical to the pre-adversary
+	// engine.
+	AdversaryArmed bool
+	// Landmarks is the inter-anchor cross-validation report; its
+	// Flagged IDs (copied here, sorted) were excluded from every
+	// server's localization inputs — ExcludedMeasurements counts the
+	// samples dropped that way.
+	Landmarks            *detect.LandmarkReport
+	FlaggedLandmarks     []netsim.HostID
+	ExcludedMeasurements int
+	// Inspections maps server IDs to their full manipulation
+	// inspection (the verdict fields on assess.Result are a summary of
+	// these).
+	Inspections map[string]detect.Inspection
+	// SuspectedServers counts manipulation-suspected verdicts.
+	SuspectedServers int
 }
 
 // Audit runs (once) the full pipeline: for every server, self-ping,
@@ -202,6 +223,26 @@ func (l *Lab) Audit() (*AuditRun, error) {
 		Coverage: map[string]CoverageNote{},
 	}
 
+	// Stage 0 (adversary plan armed only): cross-validate every anchor
+	// against the as-reported calibration mesh. The flagged landmarks
+	// are excluded from every server's localization inputs below, and
+	// the robust mesh fit doubles as the honest-noise baseline the
+	// per-server manipulation detectors compare against.
+	plan := l.Adversary
+	var lmReport *detect.LandmarkReport
+	var inspectCfg detect.InspectConfig
+	if plan.Enabled() {
+		span := tel.StartStage("audit.crossvalidate")
+		edges := detect.MeshEdges(l.Cons, plan.ReportedPosition, plan.ReportBiasMs)
+		lmReport = detect.CrossValidate(edges, detect.DefaultCrossValidateConfig())
+		inspectCfg = detect.DefaultInspectConfig()
+		run.AdversaryArmed = true
+		run.Landmarks = lmReport
+		run.FlaggedLandmarks = append([]netsim.HostID(nil), lmReport.Flagged...)
+		run.Inspections = make(map[string]detect.Inspection, len(servers))
+		span.End()
+	}
+
 	// Stage 1: two-phase measurement through every proxy, batched.
 	span := tel.StartStage("audit.measure")
 	proxies := make([]netsim.HostID, len(servers))
@@ -215,6 +256,7 @@ func (l *Lab) Audit() (*AuditRun, error) {
 		Concurrency: l.Concurrency(),
 		Seed:        l.streamSeed(17),
 		Policy:      l.policy(),
+		Adversary:   plan,
 		OnProgress: func(done, total int) {
 			tel.Progress("audit.measure", done, total)
 		},
@@ -227,15 +269,30 @@ func (l *Lab) Audit() (*AuditRun, error) {
 	span = tel.StartStage("audit.locate")
 	assessed := make([]*assess.Result, len(servers))
 	serverErrs := make([]*ServerError, len(servers))
+	inspections := make([]detect.Inspection, len(servers))
+	excluded := make([]int, len(servers))
 	var located int64
 	parallelFor(len(servers), l.Concurrency(), func(i int) {
 		s := servers[i]
 		region := l.Env.Grid.NewRegion()
+		var ms []geoloc.Measurement
 		switch {
 		case measured[i].Err != nil:
 			serverErrs[i] = &ServerError{Stage: StageMeasure, Err: measured[i].Err}
 		default:
-			ms := measured[i].Result.Measurements()
+			ms = measured[i].Result.Measurements()
+			if run.AdversaryArmed {
+				// Flagged landmarks' reports are poison: drop them from
+				// the localization inputs before fitting a region.
+				kept := make([]geoloc.Measurement, 0, len(ms))
+				for _, m := range ms {
+					if !lmReport.IsFlagged(m.LandmarkID) {
+						kept = append(kept, m)
+					}
+				}
+				excluded[i] = len(ms) - len(kept)
+				ms = kept
+			}
 			if len(ms) < 4 {
 				serverErrs[i] = &ServerError{
 					Stage: StageMeasure,
@@ -247,10 +304,33 @@ func (l *Lab) Audit() (*AuditRun, error) {
 				region = r2
 			}
 		}
-		assessed[i] = assess.Assess(l.Env.Mask, region, string(s.Host.ID), s.Provider, s.ClaimedCountry)
+		a := assess.Assess(l.Env.Mask, region, string(s.Host.ID), s.Provider, s.ClaimedCountry)
+		if run.AdversaryArmed {
+			if c, ok := region.Centroid(); ok {
+				inspections[i] = detect.InspectServer(ms, c, inspectCfg)
+			}
+		}
+		assessed[i] = a
 		tel.Progress("audit.locate", int(atomic.AddInt64(&located, 1)), len(servers))
 	})
 	span.End()
+
+	// The per-server fits are judged as a population: the honest
+	// majority of servers calibrates the spread/shift gates, so a noisy
+	// network doesn't read as an attack and a quiet one doesn't hide it.
+	if run.AdversaryArmed {
+		byID := make(map[string]detect.Inspection, len(servers))
+		for i, a := range assessed {
+			byID[a.ServerID] = inspections[i]
+		}
+		judged := detect.JudgeServers(byID, inspectCfg)
+		for i, a := range assessed {
+			inspections[i] = judged[a.ServerID]
+			a.ManipulationSuspected = inspections[i].Suspected
+			a.ManipulationScore = inspections[i].Score
+			a.ManipulationReasons = inspections[i].Reasons
+		}
+	}
 
 	for i, a := range assessed {
 		if e := serverErrs[i]; e != nil {
@@ -276,6 +356,13 @@ func (l *Lab) Audit() (*AuditRun, error) {
 		}
 		if a.VerdictRaw == assess.Uncertain && a.Verdict != assess.Uncertain {
 			run.ReclassifiedByDC++
+		}
+		if run.AdversaryArmed {
+			run.ExcludedMeasurements += excluded[i]
+			run.Inspections[a.ServerID] = inspections[i]
+			if a.ManipulationSuspected {
+				run.SuspectedServers++
+			}
 		}
 		run.Results = append(run.Results, a)
 		run.byServer[a.ServerID] = a
@@ -313,6 +400,11 @@ func (l *Lab) Audit() (*AuditRun, error) {
 	tel.Add("audit.failures.locate", int64(run.LocateFailures))
 	tel.Add("audit.reclassified.dc", int64(run.ReclassifiedByDC))
 	tel.Add("audit.reclassified.group", int64(run.ReclassifiedByGroup))
+	if run.AdversaryArmed {
+		tel.Add("audit.adversary.flagged", int64(len(run.FlaggedLandmarks)))
+		tel.Add("audit.adversary.excluded", int64(run.ExcludedMeasurements))
+		tel.Add("audit.adversary.suspected", int64(run.SuspectedServers))
+	}
 	if len(run.Coverage) > 0 {
 		tel.Add("audit.faults.retries", int64(run.Retries))
 		tel.Add("audit.faults.probefailures", int64(run.ProbeFailures))

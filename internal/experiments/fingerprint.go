@@ -33,6 +33,13 @@ func Fingerprint(run *AuditRun) string {
 				c.Measured, c.Planned, c.Retries, c.ProbeFailures, c.LostLandmarks,
 				c.Disconnected, c.BudgetExhausted, c.Coverage, c.Confidence)
 		}
+		// Adversary annotations only exist when the plan is armed, so
+		// the honest fingerprint is byte-identical to the pre-adversary
+		// one (the golden-SHA regression pins this).
+		if run.AdversaryArmed {
+			fmt.Fprintf(&b, "|adv:%v:%.4f:%v",
+				r.ManipulationSuspected, r.ManipulationScore, r.ManipulationReasons)
+		}
 		b.WriteByte('\n')
 	}
 	t := assess.Tabulate(run.Results)
@@ -42,6 +49,10 @@ func Fingerprint(run *AuditRun) string {
 	if len(run.Coverage) > 0 {
 		fmt.Fprintf(&b, "faults: retries:%d probefail:%d lost:%d disc:%d degraded:%d\n",
 			run.Retries, run.ProbeFailures, run.LostLandmarks, run.Disconnects, run.DegradedServers)
+	}
+	if run.AdversaryArmed {
+		fmt.Fprintf(&b, "adversary: flagged:%v excluded:%d suspected:%d\n",
+			run.FlaggedLandmarks, run.ExcludedMeasurements, run.SuspectedServers)
 	}
 	return b.String()
 }

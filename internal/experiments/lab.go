@@ -105,6 +105,13 @@ type Lab struct {
 	// ignored — see internal/telemetry).
 	Telemetry *telemetry.Collector
 
+	// Adversary, when armed, makes a hash-chosen slice of the fleet lie
+	// about its location and a slice of the anchors turn Byzantine, and
+	// switches the audit's detection layer on (landmark cross-validation
+	// plus per-server manipulation verdicts). nil — the default — keeps
+	// every pipeline byte-identical to the honest engine.
+	Adversary *measure.AdversaryPlan
+
 	// Memoized audit results (Figure 17 pipeline).
 	audit *AuditRun
 	// Memoized foreign constellations (§8.1 multi-constellation study);

@@ -19,6 +19,7 @@ func (l *Lab) StreamingAuditor(batchSize, queueDepth int) *stream.Auditor {
 		Locator:     l.CBGpp,
 		Seed:        l.streamSeed(17),
 		PolicyFn:    l.policy,
+		Adversary:   l.Adversary,
 		Concurrency: l.Concurrency(),
 		BatchSize:   batchSize,
 		QueueDepth:  queueDepth,

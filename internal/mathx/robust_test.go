@@ -1,0 +1,134 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// exactCorpus draws n x-values and puts y exactly on the line, so the
+// clean fit is recoverable to machine precision and the contamination
+// property below can use the strict ApproxEqual tolerance.
+func exactCorpus(rng *rand.Rand, n int, line Line) (x, y []float64) {
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 9000
+		y[i] = line.At(x[i])
+	}
+	return x, y
+}
+
+// TestTrimmedLineContaminationProperty is the robust-fit property test:
+// across seeded corpora, contamination below the breakdown fraction
+// leaves the fitted slope and intercept within ApproxEqual of the clean
+// fit.
+func TestTrimmedLineContaminationProperty(t *testing.T) {
+	const n, trim = 60, 0.3
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		truth := Line{Slope: 0.005 + rng.Float64()*0.02, Intercept: rng.Float64() * 40}
+		x, y := exactCorpus(rng, n, truth)
+		clean, err := TrimmedLine(x, y, trim)
+		if err != nil {
+			t.Fatalf("seed %d: clean fit: %v", seed, err)
+		}
+		if !ApproxEqual(clean.Slope, truth.Slope) || !ApproxEqual(clean.Intercept, truth.Intercept) {
+			t.Fatalf("seed %d: clean fit %+v != truth %+v", seed, clean, truth)
+		}
+
+		// Contaminate strictly below the trim fraction: 25% gross
+		// outliers in both directions.
+		dirty := int(0.25 * n)
+		for _, i := range rng.Perm(n)[:dirty] {
+			off := 4000 + rng.Float64()*6000
+			if rng.Float64() < 0.5 {
+				off = -off
+			}
+			y[i] = truth.At(x[i]) + off
+		}
+		got, err := TrimmedLine(x, y, trim)
+		if err != nil {
+			t.Fatalf("seed %d: contaminated fit: %v", seed, err)
+		}
+		if !ApproxEqual(got.Slope, clean.Slope) {
+			t.Errorf("seed %d: slope %v drifted from clean %v under 25%% contamination", seed, got.Slope, clean.Slope)
+		}
+		if !ApproxEqual(got.Intercept, clean.Intercept) {
+			t.Errorf("seed %d: intercept %v drifted from clean %v under 25%% contamination", seed, got.Intercept, clean.Intercept)
+		}
+	}
+}
+
+// TestTrimmedLineBreakdown demonstrates the breakdown point: a
+// consistent majority shift (55% of points offset by +1000) captures
+// the fit, so the intercept lands near the contaminated plateau rather
+// than the clean one. This is the failure the breakdown fraction
+// promises, not a bug.
+func TestTrimmedLineBreakdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	truth := Line{Slope: 0.012, Intercept: 10}
+	x, y := exactCorpus(rng, 60, truth)
+	for _, i := range rng.Perm(60)[:33] {
+		y[i] = truth.At(x[i]) + 1000
+	}
+	got, err := TrimmedLine(x, y, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Intercept-truth.Intercept) < 500 {
+		t.Errorf("intercept %v survived 55%% consistent contamination; breakdown point is supposed to be ~trim", got.Intercept)
+	}
+}
+
+func TestTrimmedLineMatchesOLSWhenTrimZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 40)
+	y := make([]float64, 40)
+	for i := range x {
+		x[i] = rng.Float64() * 100
+		y[i] = 5 + 0.3*x[i] + rng.NormFloat64()
+	}
+	ols, err := FitLine(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TrimmedLine(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ApproxEqual(got.Slope, ols.Slope) || !ApproxEqual(got.Intercept, ols.Intercept) {
+		t.Errorf("trim=0 fit %+v != OLS %+v", got, ols)
+	}
+}
+
+func TestTrimmedLineErrors(t *testing.T) {
+	if _, err := TrimmedLine([]float64{1, 2}, []float64{1}, 0.2); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := TrimmedLine([]float64{1, 2, 3}, []float64{1, 2, 3}, 0.5); err != ErrTrimRange {
+		t.Errorf("trim 0.5 accepted: %v", err)
+	}
+	if _, err := TrimmedLine([]float64{1, 2, 3}, []float64{1, 2, 3}, -0.1); err != ErrTrimRange {
+		t.Errorf("negative trim accepted: %v", err)
+	}
+	if _, err := TrimmedLine([]float64{1, 2, 3}, []float64{1, 2, 3}, 0.4); err != nil {
+		t.Errorf("keep=2 rejected: %v", err)
+	}
+	if _, err := TrimmedLine([]float64{1}, []float64{1}, 0.2); err != ErrInsufficientData {
+		t.Errorf("single point accepted: %v", err)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	if got := MAD([]float64{1, 1, 1, 1}); got != 0 {
+		t.Errorf("MAD of constants = %v", got)
+	}
+	// Median 3, deviations {2,1,0,1,2} -> median 1.
+	if got := MAD([]float64{1, 2, 3, 4, 5}); !ApproxEqual(got, 1) {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	if !math.IsNaN(MAD(nil)) {
+		t.Error("MAD(nil) not NaN")
+	}
+}

@@ -1,10 +1,12 @@
 package measure
 
 import (
+	"fmt"
 	"math/rand"
 
 	"activegeo/internal/atlas"
 	"activegeo/internal/geo"
+	"activegeo/internal/netsim"
 )
 
 // AdversarialProxiedTool wraps a ProxiedTool with the attacks the
@@ -21,7 +23,12 @@ import (
 //
 // The Decoy policy implements the natural combined strategy: make every
 // landmark's apparent proxy↔landmark time look as if the proxy were at
-// the decoy location.
+// the decoy location. InflateMs and DeflateKeep implement the selective
+// per-landmark variants of Abdou's delay-manipulation taxonomy, and
+// ExtraDelayMs the cruder Gill-style constant shift. Whatever the
+// strategy, the client leg cannot be forged below its real value — the
+// client talks to the proxy directly — so every manipulated RTT is
+// floored at the measured client↔proxy time.
 type AdversarialProxiedTool struct {
 	Inner *ProxiedTool
 
@@ -36,6 +43,27 @@ type AdversarialProxiedTool struct {
 	// ExtraDelayMs adds a constant to every measurement instead of (or
 	// on top of) the decoy rewrite — the cruder Gill et al. attack.
 	ExtraDelayMs float64
+
+	// Aggressiveness blends the decoy rewrite with the honest
+	// observation: 1 replaces the apparent RTT outright, 0.5 moves it
+	// halfway toward the forgery. Zero (the historical zero value)
+	// means full aggressiveness, so existing decoy configurations are
+	// unchanged.
+	Aggressiveness float64
+	// InflateMs, when positive, adds that many milliseconds to the
+	// RTTs of the targeted landmark subset — selective inflation.
+	InflateMs float64
+	// DeflateKeep, when in (0, 1), shrinks the targeted landmarks'
+	// proxy↔landmark component to that fraction of its honest value —
+	// selective early SYN-ACKs. The client-leg floor still holds.
+	DeflateKeep float64
+	// TargetFraction is the fraction of landmarks the selective attacks
+	// (InflateMs, DeflateKeep) hit, chosen by a pure hash of
+	// (SelectSeed, landmark ID) so the targeted set is deterministic
+	// and independent of measurement order. Zero means half.
+	TargetFraction float64
+	// SelectSeed seeds the target-selection hash.
+	SelectSeed int64
 }
 
 func (a *AdversarialProxiedTool) pretendSpeed() float64 {
@@ -43,6 +71,28 @@ func (a *AdversarialProxiedTool) pretendSpeed() float64 {
 		return 120
 	}
 	return a.PretendSpeedKmPerMs
+}
+
+func (a *AdversarialProxiedTool) aggressiveness() float64 {
+	switch {
+	case a.Aggressiveness <= 0:
+		return 1
+	case a.Aggressiveness > 1:
+		return 1
+	default:
+		return a.Aggressiveness
+	}
+}
+
+// Targeted reports whether the selective attacks hit this landmark: a
+// pure function of (SelectSeed, id), never of the RNG, so the attacked
+// subset is identical at any concurrency and in any measurement order.
+func (a *AdversarialProxiedTool) Targeted(id netsim.HostID) bool {
+	f := a.TargetFraction
+	if f <= 0 {
+		f = 0.5
+	}
+	return hashFraction(a.SelectSeed, "advtarget", string(id)) < f
 }
 
 // MeasureLandmark performs one manipulated measurement.
@@ -60,12 +110,30 @@ func (a *AdversarialProxiedTool) MeasureLandmark(lm *atlas.Landmark, rng *rand.R
 	}
 	if a.Decoy != nil {
 		d := geo.DistanceKm(*a.Decoy, lm.Host.Loc)
-		forged := 2*d/a.pretendSpeed() + 2 + rng.Float64()*3
-		s.RTTms = clientLeg + forged
+		forged := clientLeg + 2*d/a.pretendSpeed() + 2 + rng.Float64()*3
+		s.RTTms += a.aggressiveness() * (forged - s.RTTms)
+	}
+	if a.InflateMs > 0 && a.Targeted(lm.Host.ID) {
+		s.RTTms += a.aggressiveness() * a.InflateMs
+	}
+	if a.DeflateKeep > 0 && a.DeflateKeep < 1 && a.Targeted(lm.Host.ID) {
+		keep := 1 - a.aggressiveness()*(1-a.DeflateKeep)
+		s.RTTms = clientLeg + keep*(s.RTTms-clientLeg)
 	}
 	s.RTTms += a.ExtraDelayMs
+	if s.RTTms < clientLeg {
+		s.RTTms = clientLeg
+	}
 	return s, nil
 }
+
+// Measure implements Tool, so the adversarial tool drops into TwoPhase,
+// Session and Batch exactly where the honest ProxiedTool would.
+func (a *AdversarialProxiedTool) Measure(_ netsim.HostID, lm *atlas.Landmark, rng *rand.Rand) (Sample, error) {
+	return a.MeasureLandmark(lm, rng)
+}
+
+var _ Tool = (*AdversarialProxiedTool)(nil)
 
 // MeasureAll measures every given landmark with the manipulated tool.
 func (a *AdversarialProxiedTool) MeasureAll(lms []*atlas.Landmark, rng *rand.Rand) []Sample {
@@ -78,4 +146,15 @@ func (a *AdversarialProxiedTool) MeasureAll(lms []*atlas.Landmark, rng *rand.Ran
 		out = append(out, s)
 	}
 	return out
+}
+
+// hashFraction maps (seed, kind, id) to a uniform [0, 1) draw via the
+// same FNV-1a host hash the fault layer uses for its pure structural
+// draws — never the measurement RNG, so attack membership is a property
+// of the configuration, not of scheduling. As in netsim's Outage, the
+// hash seeds a throwaway generator rather than being used as raw bits:
+// FNV's avalanche on near-identical IDs is too weak for direct use.
+func hashFraction(seed int64, kind, id string) float64 {
+	h := netsim.HashID(netsim.HostID(fmt.Sprintf("%s|%d|%s", kind, seed, id)))
+	return rand.New(rand.NewSource(int64(h))).Float64()
 }

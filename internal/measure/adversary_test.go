@@ -93,6 +93,177 @@ func TestAdversaryMeasureAll(t *testing.T) {
 	}
 }
 
+// TestAdversaryForgedCentroidNearDecoy multilaterates the forged
+// measurements over a candidate grid (the anchors' own locations plus
+// the decoy and the truth) and asserts the best-fitting candidate lands
+// within tolerance of the decoy — the attacker's goal state.
+func TestAdversaryForgedCentroidNearDecoy(t *testing.T) {
+	cons, _ := algtest.Fixture(t)
+	client := addTarget(t, cons.Net(), "adv4-client", geo.Point{Lat: 50.11, Lon: 8.68})
+	trueLoc := geo.Point{Lat: 52.37, Lon: 4.89}
+	proxy := addTarget(t, cons.Net(), "adv4-proxy", trueLoc)
+	decoy := geo.Point{Lat: 35.68, Lon: 139.65}
+	inner := &ProxiedTool{Net: cons.Net(), Client: client, Proxy: proxy}
+	adv := &AdversarialProxiedTool{Inner: inner, Decoy: &decoy}
+	rng := rand.New(rand.NewSource(44))
+	clientLeg, _ := cons.Net().BaseRTTMs(client, proxy)
+
+	lms := cons.Anchors()[:40]
+	type obs struct {
+		at geo.Point
+		km float64
+	}
+	var observations []obs
+	for _, lm := range lms {
+		s, err := adv.MeasureLandmark(lm, rng)
+		if err != nil {
+			continue
+		}
+		observations = append(observations, obs{lm.Host.Loc, geo.OneWayMs(s.RTTms-clientLeg) * 120})
+	}
+	if len(observations) < 20 {
+		t.Fatalf("only %d measurements", len(observations))
+	}
+	candidates := []geo.Point{decoy, trueLoc}
+	for _, lm := range lms {
+		candidates = append(candidates, lm.Host.Loc)
+	}
+	best, bestCost := geo.Point{}, 0.0
+	for i, c := range candidates {
+		cost := 0.0
+		for _, o := range observations {
+			cost += abs(geo.DistanceKm(c, o.at) - o.km)
+		}
+		if i == 0 || cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+	if d := geo.DistanceKm(best, decoy); d > 1000 {
+		t.Errorf("forged measurements multilaterate to %+v, %.0f km from decoy", best, d)
+	}
+}
+
+// TestAdversaryClientLegFloor asserts the invariant every attack mode
+// must respect: the client talks to the proxy directly, so no forged
+// RTT can undercut the real client↔proxy time.
+func TestAdversaryClientLegFloor(t *testing.T) {
+	cons, _ := algtest.Fixture(t)
+	client := addTarget(t, cons.Net(), "adv5-client", geo.Point{Lat: 50.11, Lon: 8.68})
+	proxy := addTarget(t, cons.Net(), "adv5-proxy", geo.Point{Lat: 48.86, Lon: 2.35})
+	decoy := geo.Point{Lat: 1.35, Lon: 103.82}
+	near := geo.Point{Lat: 48.8, Lon: 2.4} // decoy on top of the proxy: max deflation pressure
+	clientLeg, _ := cons.Net().BaseRTTMs(client, proxy)
+
+	cases := []struct {
+		name string
+		tool AdversarialProxiedTool
+	}{
+		{"decoy-full", AdversarialProxiedTool{Decoy: &decoy}},
+		{"decoy-near", AdversarialProxiedTool{Decoy: &near}},
+		{"decoy-blend", AdversarialProxiedTool{Decoy: &near, Aggressiveness: 0.6}},
+		{"inflate", AdversarialProxiedTool{InflateMs: 80}},
+		{"deflate-full", AdversarialProxiedTool{DeflateKeep: 0.05, TargetFraction: 1}},
+		{"deflate-blend", AdversarialProxiedTool{DeflateKeep: 0.25, Aggressiveness: 0.4}},
+		{"delay", AdversarialProxiedTool{ExtraDelayMs: 150}},
+		{"combined", AdversarialProxiedTool{Decoy: &near, DeflateKeep: 0.1, TargetFraction: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tool := tc.tool
+			tool.Inner = &ProxiedTool{Net: cons.Net(), Client: client, Proxy: proxy}
+			rng := rand.New(rand.NewSource(45))
+			for _, lm := range cons.Anchors()[:30] {
+				s, err := tool.MeasureLandmark(lm, rng)
+				if err != nil {
+					continue
+				}
+				if s.RTTms < clientLeg {
+					t.Fatalf("%s: forged RTT %.3f ms undercuts client leg %.3f ms at %s",
+						tc.name, s.RTTms, clientLeg, lm.Host.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestAdversaryExtraDelayConstantShift pins the Gill-style expectation:
+// with ExtraDelayMs alone, identical RNG streams produce measurements
+// offset by exactly the configured constant (the attack consumes no
+// extra draws).
+func TestAdversaryExtraDelayConstantShift(t *testing.T) {
+	cons, _ := algtest.Fixture(t)
+	client := addTarget(t, cons.Net(), "adv6-client", geo.Point{Lat: 50.11, Lon: 8.68})
+	proxy := addTarget(t, cons.Net(), "adv6-proxy", geo.Point{Lat: 48.86, Lon: 2.35})
+	inner := &ProxiedTool{Net: cons.Net(), Client: client, Proxy: proxy}
+	const shift = 100.0
+	adv := &AdversarialProxiedTool{Inner: inner, ExtraDelayMs: shift}
+
+	honestRng := rand.New(rand.NewSource(46))
+	forgedRng := rand.New(rand.NewSource(46))
+	for _, lm := range cons.Anchors()[:25] {
+		h, errH := inner.Measure("", lm, honestRng)
+		f, errF := adv.MeasureLandmark(lm, forgedRng)
+		if (errH == nil) != (errF == nil) {
+			t.Fatalf("error divergence at %s: %v vs %v", lm.Host.ID, errH, errF)
+		}
+		if errH != nil {
+			continue
+		}
+		if got := f.RTTms - h.RTTms; abs(got-shift) > 1e-9 {
+			t.Errorf("%s: shift %.6f ms, want exactly %.0f", lm.Host.ID, got, shift)
+		}
+	}
+}
+
+// TestAdversarySelectiveTargeting asserts the selective attacks hit
+// exactly the hash-chosen subset: targeted landmarks move, untargeted
+// landmarks' measurements are byte-identical to honest ones.
+func TestAdversarySelectiveTargeting(t *testing.T) {
+	cons, _ := algtest.Fixture(t)
+	client := addTarget(t, cons.Net(), "adv7-client", geo.Point{Lat: 50.11, Lon: 8.68})
+	proxy := addTarget(t, cons.Net(), "adv7-proxy", geo.Point{Lat: 48.86, Lon: 2.35})
+	inner := &ProxiedTool{Net: cons.Net(), Client: client, Proxy: proxy}
+
+	cases := []struct {
+		name string
+		tool AdversarialProxiedTool
+		dir  float64 // expected sign of (forged − honest) on targets
+	}{
+		{"inflate", AdversarialProxiedTool{InflateMs: 80, SelectSeed: 3}, +1},
+		{"deflate", AdversarialProxiedTool{DeflateKeep: 0.2, SelectSeed: 3}, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tool := tc.tool
+			tool.Inner = inner
+			honestRng := rand.New(rand.NewSource(47))
+			forgedRng := rand.New(rand.NewSource(47))
+			var targeted, spared int
+			for _, lm := range cons.Anchors()[:30] {
+				h, errH := inner.Measure("", lm, honestRng)
+				f, errF := tool.MeasureLandmark(lm, forgedRng)
+				if errH != nil || errF != nil {
+					continue
+				}
+				if tool.Targeted(lm.Host.ID) {
+					targeted++
+					if tc.dir*(f.RTTms-h.RTTms) <= 0 {
+						t.Errorf("targeted %s unmoved: honest %.3f forged %.3f", lm.Host.ID, h.RTTms, f.RTTms)
+					}
+				} else {
+					spared++
+					if f.RTTms != h.RTTms {
+						t.Errorf("untargeted %s perturbed: honest %.6f forged %.6f", lm.Host.ID, h.RTTms, f.RTTms)
+					}
+				}
+			}
+			if targeted < 5 || spared < 5 {
+				t.Fatalf("degenerate split: %d targeted, %d spared", targeted, spared)
+			}
+		})
+	}
+}
+
 func abs(v float64) float64 {
 	if v < 0 {
 		return -v

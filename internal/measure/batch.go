@@ -38,6 +38,11 @@ type Batch struct {
 	// zero Policy keeps the historical fault-free path, byte-identical
 	// to the pre-fault engine.
 	Policy Policy
+	// Adversary, when armed, routes every proxy through the adversarial
+	// pipeline: lying proxies manipulate their apparent RTTs and
+	// Byzantine landmarks misreport. nil (or a disabled plan) keeps the
+	// honest path, byte-identical to the pre-adversary engine.
+	Adversary *AdversaryPlan
 }
 
 // BatchResult is one proxy's outcome.
@@ -110,7 +115,9 @@ func (b *Batch) Run(ctx context.Context, proxies []netsim.HostID) []BatchResult 
 			rng := rand.New(rand.NewSource(StreamSeed(b.Seed, p)))
 			var res *Result
 			var err error
-			if b.Policy.Enabled() {
+			if b.Adversary.Enabled() {
+				res, err = ProxiedTwoPhaseAdversarial(b.Cons, b.Client, p, b.Eta, b.Policy, b.Adversary, rng)
+			} else if b.Policy.Enabled() {
 				res, err = ProxiedTwoPhaseResilient(b.Cons, b.Client, p, b.Eta, b.Policy, rng)
 			} else {
 				res, err = ProxiedTwoPhase(b.Cons, b.Client, p, b.Eta, rng)

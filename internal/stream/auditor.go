@@ -10,6 +10,7 @@ import (
 
 	"activegeo/internal/assess"
 	"activegeo/internal/atlas"
+	"activegeo/internal/detect"
 	"activegeo/internal/geoloc"
 	"activegeo/internal/measure"
 	"activegeo/internal/netsim"
@@ -48,6 +49,15 @@ type Config struct {
 	// full — backpressure, not accumulation.
 	QueueDepth int
 
+	// Adversary, when armed, mirrors the batch audit's detection layer:
+	// the calibration mesh is cross-validated before each pass, flagged
+	// landmarks' reports are dropped from every server's localization
+	// inputs, and each verdict carries a manipulation inspection judged
+	// against the whole store's population after the pass. nil (or a
+	// disabled plan) keeps the pipeline byte-identical to the honest
+	// engine.
+	Adversary *measure.AdversaryPlan
+
 	// Telemetry receives queue-depth and batch-latency distributions
 	// plus audited/skipped counters (nil discards).
 	Telemetry *telemetry.Collector
@@ -79,6 +89,11 @@ type Auditor struct {
 	cfg   Config
 	store *Store
 	pass  uint32
+
+	// lmReport is the current pass's landmark cross-validation (nil when
+	// the adversary layer is disarmed). Recomputed at the top of every
+	// Sync so constellation churn re-judges the mesh.
+	lmReport *detect.LandmarkReport
 }
 
 // New builds an Auditor over a fresh store.
@@ -137,6 +152,10 @@ func (a *Auditor) signature(spec ServerSpec) uint64 {
 	}
 	mix(a.cfg.Cons.Epoch())
 	mix(a.cfg.Cons.Net().Faults().Signature())
+	// Arming, disarming or re-tuning the adversary plan changes what a
+	// verdict means, so it dirties every row (nil and the zero plan
+	// share the stable "disabled" stamp).
+	mix(a.cfg.Adversary.Signature())
 	mixStr(spec.Provider)
 	mixStr(spec.Claimed)
 	mixStr(spec.GroupKey)
@@ -165,6 +184,19 @@ func (a *Auditor) Sync(ctx context.Context, src Source) (PassStats, error) {
 	tel := a.cfg.Telemetry
 	prov, _ := src.(Provisioner)
 	stats := PassStats{Total: src.Len()}
+
+	// Stage 0 (adversary plan armed only): cross-validate the anchors
+	// against the as-reported calibration mesh, exactly as the batch
+	// audit does. The flagged set filters every batch's localization
+	// inputs below and is stamped into the store for the fingerprint.
+	if plan := a.cfg.Adversary; plan.Enabled() {
+		edges := detect.MeshEdges(a.cfg.Cons, plan.ReportedPosition, plan.ReportBiasMs)
+		a.lmReport = detect.CrossValidate(edges, detect.DefaultCrossValidateConfig())
+		a.store.setAdversary(true, a.lmReport.Flagged)
+	} else {
+		a.lmReport = nil
+		a.store.setAdversary(false, nil)
+	}
 
 	batches := make(chan []batchItem, a.queueDepth())
 	var feedErr error
@@ -267,6 +299,11 @@ func (a *Auditor) Sync(ctx context.Context, src Source) (PassStats, error) {
 	}
 
 	a.store.resolveGroups()
+	// Like the group refinement, the manipulation judgment is a pure
+	// function of the whole store's per-server fits: re-judging after
+	// every pass makes partial deltas compose into exactly the verdicts
+	// a full batch audit would produce.
+	a.store.resolveAdversary(detect.DefaultInspectConfig())
 	tel.Add("stream.skipped", int64(stats.Skipped))
 	tel.Add("stream.passes", 1)
 	return stats, nil
@@ -286,6 +323,7 @@ func (a *Auditor) runBatch(ctx context.Context, batch []batchItem) {
 		Concurrency: a.concurrency(),
 		Seed:        a.cfg.Seed,
 		Policy:      a.policy(),
+		Adversary:   a.cfg.Adversary,
 	}
 	measured := mb.Run(ctx, proxies)
 	if ctx.Err() != nil {
@@ -294,16 +332,31 @@ func (a *Auditor) runBatch(ctx context.Context, batch []batchItem) {
 		return
 	}
 
+	armed := a.cfg.Adversary.Enabled()
+	inspectCfg := detect.DefaultInspectConfig()
 	parallelFor(len(batch), a.concurrency(), func(i int) {
 		it := batch[i]
 		o := outcome{spec: it.spec, sig: it.sig, pass: a.pass}
 		region := a.cfg.Env.Grid.NewRegion()
+		var ms []geoloc.Measurement
 		switch {
 		case measured[i].Err != nil:
 			o.errStage = StageMeasure
 			o.errMsg = measured[i].Err.Error()
 		default:
-			ms := measured[i].Result.Measurements()
+			ms = measured[i].Result.Measurements()
+			if armed {
+				// Flagged landmarks' reports are poison: drop them before
+				// fitting a region, exactly as the batch audit does.
+				kept := make([]geoloc.Measurement, 0, len(ms))
+				for _, m := range ms {
+					if !a.lmReport.IsFlagged(m.LandmarkID) {
+						kept = append(kept, m)
+					}
+				}
+				o.excluded = len(ms) - len(kept)
+				ms = kept
+			}
 			o.nMeas = len(ms)
 			if len(ms) < 4 {
 				o.errStage = StageMeasure
@@ -315,6 +368,11 @@ func (a *Auditor) runBatch(ctx context.Context, batch []batchItem) {
 				o.errMsg = lerr.Error()
 			} else {
 				region = r2
+			}
+		}
+		if armed {
+			if c, ok := region.Centroid(); ok {
+				o.insp = detect.InspectServer(ms, c, inspectCfg)
 			}
 		}
 		res := assess.Assess(a.cfg.Mask, region, string(it.spec.ID), it.spec.Provider, it.spec.Claimed)

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"activegeo/internal/assess"
+	"activegeo/internal/detect"
 	"activegeo/internal/netsim"
 )
 
@@ -77,6 +78,17 @@ type Store struct {
 	errMsg   []string
 
 	coverage map[int]Coverage
+
+	// Adversary-detection columns, populated only while the auditor's
+	// plan is armed. advInsp holds each row's manipulation inspection —
+	// the raw per-server fit is written by setResult, the judged fields
+	// (Suspected/Score/Reasons) by resolveAdversary over the whole
+	// population. advExcluded counts the row's measurements dropped for
+	// coming from flagged landmarks.
+	advArmed    bool
+	advFlagged  []netsim.HostID
+	advInsp     []detect.Inspection
+	advExcluded []int32
 
 	reclassifiedByGroup int
 }
@@ -160,6 +172,8 @@ func (s *Store) ensure(spec ServerSpec) int {
 		s.candidates = append(s.candidates, nil)
 		s.errStage = append(s.errStage, 0)
 		s.errMsg = append(s.errMsg, "")
+		s.advInsp = append(s.advInsp, detect.Inspection{})
+		s.advExcluded = append(s.advExcluded, 0)
 	}
 	g := s.internGroup(spec.GroupKey)
 	if old := s.group[row]; old != g {
@@ -202,6 +216,8 @@ type outcome struct {
 	errStage   string
 	errMsg     string
 	coverage   *Coverage
+	insp       detect.Inspection
+	excluded   int
 }
 
 func (s *Store) setResult(row int, o outcome) {
@@ -243,6 +259,39 @@ func (s *Store) setResult(row int, o outcome) {
 		s.coverage[row] = *o.coverage
 	} else {
 		delete(s.coverage, row)
+	}
+	s.advInsp[row] = o.insp
+	s.advExcluded[row] = int32(o.excluded)
+}
+
+// setAdversary records the current pass's adversary state: whether the
+// detection layer is armed (which switches the fingerprint's adversary
+// annotations on) and the sorted flagged-landmark set.
+func (s *Store) setAdversary(armed bool, flagged []netsim.HostID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advArmed = armed
+	s.advFlagged = append(s.advFlagged[:0], flagged...)
+}
+
+// resolveAdversary re-judges every row's manipulation inspection against
+// the whole store's population, mirroring the batch audit's
+// detect.JudgeServers stage. Like resolveGroups it is idempotent — the
+// judged fields are a pure function of the raw per-row fits, so deltas
+// from a partial re-audit compose exactly as a full pass would.
+func (s *Store) resolveAdversary(cfg detect.InspectConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.advArmed {
+		return
+	}
+	byID := make(map[string]detect.Inspection, len(s.ids))
+	for row, id := range s.ids {
+		byID[string(id)] = s.advInsp[row]
+	}
+	judged := detect.JudgeServers(byID, cfg)
+	for row, id := range s.ids {
+		s.advInsp[row] = judged[string(id)]
 	}
 }
 
@@ -431,6 +480,19 @@ func (s *Store) VerdictOf(id netsim.HostID) (v assess.Verdict, probable string, 
 	return assess.Verdict(s.final[row]), s.countries[s.probableFinal[row]], true
 }
 
+// InspectionOf returns one server's judged manipulation inspection
+// (ok=false if the server was never seen). Meaningful only while the
+// auditor's adversary plan is armed; on the honest path it is zero.
+func (s *Store) InspectionOf(id netsim.HostID) (detect.Inspection, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	row, found := s.index[id]
+	if !found {
+		return detect.Inspection{}, false
+	}
+	return s.advInsp[row], true
+}
+
 // LastPass returns the Sync pass (1-based) in which the server was last
 // measured, 0 if never.
 func (s *Store) LastPass(id netsim.HostID) uint32 {
@@ -476,6 +538,12 @@ func (s *Store) Fingerprint() string {
 				c.Measured, c.Planned, c.Retries, c.ProbeFailures, c.LostLandmarks,
 				c.Disconnected, c.BudgetExhausted, c.Ratio, c.Confidence)
 		}
+		// Adversary annotations only exist when the plan is armed, so the
+		// honest fingerprint is byte-identical to the pre-adversary one.
+		if s.advArmed {
+			insp := s.advInsp[row]
+			fmt.Fprintf(&b, "|adv:%v:%.4f:%v", insp.Suspected, insp.Score, insp.Reasons)
+		}
 		b.WriteByte('\n')
 	}
 	t := s.tallyLocked()
@@ -486,6 +554,17 @@ func (s *Store) Fingerprint() string {
 	if st.FaultyServers > 0 {
 		fmt.Fprintf(&b, "faults: retries:%d probefail:%d lost:%d disc:%d degraded:%d\n",
 			st.Retries, st.ProbeFailures, st.LostLandmarks, st.Disconnects, st.DegradedServers)
+	}
+	if s.advArmed {
+		suspected, excluded := 0, 0
+		for row := range s.ids {
+			if s.advInsp[row].Suspected {
+				suspected++
+			}
+			excluded += int(s.advExcluded[row])
+		}
+		fmt.Fprintf(&b, "adversary: flagged:%v excluded:%d suspected:%d\n",
+			s.advFlagged, excluded, suspected)
 	}
 	return b.String()
 }
